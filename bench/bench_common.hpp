@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction harnesses: cluster builders
+// for the three systems (TCP Redis, RDMA-Redis, SKV) and table printing.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "skv/cluster.hpp"
+#include "workload/runner.hpp"
+
+namespace skv::bench {
+
+enum class System { kTcpRedis, kRdmaRedis, kSkv };
+
+inline const char* name_of(System s) {
+    switch (s) {
+        case System::kTcpRedis: return "Redis";
+        case System::kRdmaRedis: return "RDMA-Redis";
+        case System::kSkv: return "SKV";
+    }
+    return "?";
+}
+
+/// Build a started cluster of the given system with `n_slaves` replicas.
+inline std::unique_ptr<offload::Cluster> make_cluster(System sys, int n_slaves,
+                                                      std::uint64_t seed = 42) {
+    offload::ClusterConfig cfg;
+    cfg.seed = seed;
+    cfg.n_slaves = n_slaves;
+    switch (sys) {
+        case System::kTcpRedis:
+            cfg.transport = server::Transport::kTcp;
+            cfg.offload = false;
+            break;
+        case System::kRdmaRedis:
+            cfg.transport = server::Transport::kRdma;
+            cfg.offload = false;
+            break;
+        case System::kSkv:
+            cfg.transport = server::Transport::kRdma;
+            cfg.offload = true;
+            break;
+    }
+    auto cluster = std::make_unique<offload::Cluster>(cfg);
+    cluster->start();
+    return cluster;
+}
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& cols) {
+    std::printf("\n== %s ==\n", title.c_str());
+    for (const auto& c : cols) std::printf("%14s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%14s", "------------");
+    std::printf("\n");
+}
+
+inline void print_cell(const char* s) { std::printf("%14s", s); }
+inline void print_cell(double v) { std::printf("%14.1f", v); }
+inline void print_cell(long long v) { std::printf("%14lld", v); }
+inline void end_row() { std::printf("\n"); }
+
+} // namespace skv::bench

@@ -1,0 +1,57 @@
+// Figure 10: original Redis (kernel TCP) vs RDMA-Redis, no slaves.
+// (a) SET throughput vs number of concurrent client connections.
+// (b) 99% tail latency vs number of concurrent client connections.
+//
+// Paper shape: Redis saturates around 130 kops/s (nearly flat from 2
+// clients on); RDMA-Redis keeps climbing past 330 kops/s. At high
+// concurrency the TCP tail latency is roughly double the RDMA one.
+
+#include "bench_common.hpp"
+
+using namespace skv;
+using namespace skv::bench;
+
+int main() {
+    const int client_counts[] = {1, 2, 4, 8, 12, 16, 24, 32};
+
+    struct Point {
+        int clients;
+        workload::RunResult tcp;
+        workload::RunResult rdma;
+    };
+    std::vector<Point> points;
+
+    for (const int n : client_counts) {
+        workload::RunOptions opts;
+        opts.clients = n;
+        opts.spec.set_ratio = 1.0;
+        opts.spec.value_bytes = 64;
+        opts.measure = sim::seconds(2);
+
+        auto tcp = make_cluster(System::kTcpRedis, 0);
+        auto rdma = make_cluster(System::kRdmaRedis, 0);
+        points.push_back(Point{n, workload::run_workload(*tcp, opts),
+                               workload::run_workload(*rdma, opts)});
+    }
+
+    print_header("Fig. 10(a): SET throughput vs concurrency (kops/s)",
+                 {"clients", "Redis", "RDMA-Redis", "speedup"});
+    for (const auto& p : points) {
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(p.tcp.throughput_kops);
+        print_cell(p.rdma.throughput_kops);
+        print_cell(p.rdma.throughput_kops / p.tcp.throughput_kops);
+        end_row();
+    }
+
+    print_header("Fig. 10(b): SET p99 latency vs concurrency (us)",
+                 {"clients", "Redis", "RDMA-Redis", "ratio"});
+    for (const auto& p : points) {
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(p.tcp.p99_us);
+        print_cell(p.rdma.p99_us);
+        print_cell(p.tcp.p99_us / p.rdma.p99_us);
+        end_row();
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 11: SKV vs RDMA-Redis executing SET commands with one master and
+// three slaves, at 4/8/16 concurrent clients: throughput, average latency
+// and 99% tail latency.
+//
+// Paper shape: little difference at 4 clients; at 8 clients SKV delivers
+// ~14% more throughput, ~14% lower average latency and ~21% lower tail
+// latency, because the master posts one work request per SET instead of
+// one per slave.
+
+#include "bench_common.hpp"
+
+using namespace skv;
+using namespace skv::bench;
+
+int main() {
+    const int client_counts[] = {4, 8, 16};
+
+    struct Point {
+        int clients;
+        workload::RunResult base;
+        workload::RunResult skv;
+    };
+    std::vector<Point> points;
+
+    for (const int n : client_counts) {
+        workload::RunOptions opts;
+        opts.clients = n;
+        opts.spec.set_ratio = 1.0;
+        opts.spec.value_bytes = 64;
+        opts.measure = sim::seconds(2);
+
+        auto base = make_cluster(System::kRdmaRedis, 3);
+        auto skv = make_cluster(System::kSkv, 3);
+        points.push_back(Point{n, workload::run_workload(*base, opts),
+                               workload::run_workload(*skv, opts)});
+    }
+
+    print_header("Fig. 11: SET throughput, 1 master + 3 slaves (kops/s)",
+                 {"clients", "RDMA-Redis", "SKV", "gain%"});
+    for (const auto& p : points) {
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(p.base.throughput_kops);
+        print_cell(p.skv.throughput_kops);
+        print_cell(100.0 * (p.skv.throughput_kops / p.base.throughput_kops - 1.0));
+        end_row();
+    }
+
+    print_header("Fig. 11: SET average latency (us)",
+                 {"clients", "RDMA-Redis", "SKV", "reduction%"});
+    for (const auto& p : points) {
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(p.base.mean_us);
+        print_cell(p.skv.mean_us);
+        print_cell(100.0 * (1.0 - p.skv.mean_us / p.base.mean_us));
+        end_row();
+    }
+
+    print_header("Fig. 11: SET p99 tail latency (us)",
+                 {"clients", "RDMA-Redis", "SKV", "reduction%"});
+    for (const auto& p : points) {
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(p.base.p99_us);
+        print_cell(p.skv.p99_us);
+        print_cell(100.0 * (1.0 - p.skv.p99_us / p.base.p99_us));
+        end_row();
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 13: GET performance, SKV vs RDMA-Redis, one master + three
+// slaves, 4/8/16 clients.
+//
+// Paper shape: no difference — GETs are never replicated, so the
+// offloading design cannot help read-only traffic. Both sit around the
+// same saturated throughput at 8/16 connections.
+
+#include "bench_common.hpp"
+
+using namespace skv;
+using namespace skv::bench;
+
+int main() {
+    const int client_counts[] = {4, 8, 16};
+
+    struct Point {
+        int clients;
+        workload::RunResult base;
+        workload::RunResult skv;
+    };
+    std::vector<Point> points;
+
+    for (const int n : client_counts) {
+        workload::RunOptions opts;
+        opts.clients = n;
+        opts.spec.set_ratio = 0.0; // pure GET
+        opts.spec.value_bytes = 64;
+        opts.spec.key_count = 10'000;
+        opts.preload = true;
+        opts.measure = sim::seconds(2);
+
+        auto base = make_cluster(System::kRdmaRedis, 3);
+        auto skv = make_cluster(System::kSkv, 3);
+        points.push_back(Point{n, workload::run_workload(*base, opts),
+                               workload::run_workload(*skv, opts)});
+    }
+
+    print_header("Fig. 13: GET throughput, 1 master + 3 slaves (kops/s)",
+                 {"clients", "RDMA-Redis", "SKV", "delta%"});
+    for (const auto& p : points) {
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(p.base.throughput_kops);
+        print_cell(p.skv.throughput_kops);
+        print_cell(100.0 * (p.skv.throughput_kops / p.base.throughput_kops - 1.0));
+        end_row();
+    }
+
+    print_header("Fig. 13: GET latency (us)",
+                 {"clients", "base avg", "skv avg", "base p99", "skv p99"});
+    for (const auto& p : points) {
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(p.base.mean_us);
+        print_cell(p.skv.mean_us);
+        print_cell(p.base.p99_us);
+        print_cell(p.skv.p99_us);
+        end_row();
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+// An interactive redis-cli-style shell against a simulated SKV cluster:
+// each line you type is parsed like an inline Redis command, executed on
+// the simulated master (replicating through the SmartNIC to 2 slaves),
+// and the reply printed. Special commands:
+//
+//   .info       cluster status
+//   .slaves     compare master and slave keyspaces
+//   .time       advance simulated time by one second
+//   .quit       exit
+//
+//   ./build/examples/kv_shell            (interactive)
+//   echo "SET k v\nGET k" | ./build/examples/kv_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "kv/resp.hpp"
+#include "kv/sds.hpp"
+#include "skv/cluster.hpp"
+
+using namespace skv;
+
+int main() {
+    offload::ClusterConfig cfg;
+    cfg.n_slaves = 2;
+    cfg.offload = true;
+    offload::Cluster cluster(cfg);
+    cluster.start();
+
+    auto client_node = cluster.add_client_host("shell");
+    net::ChannelPtr ch;
+    cluster.connect_client(client_node,
+                           [&](net::ChannelPtr c) { ch = std::move(c); });
+    cluster.sim().run_until(cluster.sim().now() + sim::milliseconds(10));
+    if (!ch) {
+        std::fprintf(stderr, "failed to connect to the simulated master\n");
+        return 1;
+    }
+
+    kv::resp::ReplyParser parser;
+    ch->set_on_message([&](std::string payload) {
+        parser.feed(payload);
+        kv::resp::Value v;
+        while (parser.next(&v) == kv::resp::Status::kOk) {
+            std::printf("%s\n", v.to_debug_string().c_str());
+        }
+    });
+
+    std::printf("skv-shell: 1 master + 2 slaves behind a simulated "
+                "BlueField SmartNIC.\nType Redis commands ('.quit' to "
+                "exit, '.info' for status).\n");
+
+    std::string line;
+    while (std::printf("skv> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+        if (line == ".quit" || line == ".exit") break;
+        if (line.empty()) continue;
+        if (line == ".info") {
+            std::printf("%s\n", cluster.master().info().c_str());
+            for (int i = 0; i < cluster.slave_count(); ++i) {
+                std::printf("%s\n", cluster.slave(i).info().c_str());
+            }
+            std::printf("nic-kv: %d/%zu slaves valid, fan-out offset %lld\n",
+                        cluster.nic_kv()->valid_slaves(),
+                        cluster.nic_kv()->slave_count(),
+                        static_cast<long long>(cluster.nic_kv()->fanout_offset()));
+            continue;
+        }
+        if (line == ".slaves") {
+            for (int i = 0; i < cluster.slave_count(); ++i) {
+                std::printf("slave%d: %zu keys, %s master\n", i,
+                            cluster.slave(i).db().size(),
+                            cluster.master().db().equals(cluster.slave(i).db())
+                                ? "identical to"
+                                : "DIVERGED from");
+            }
+            continue;
+        }
+        if (line == ".time") {
+            cluster.sim().run_until(cluster.sim().now() + sim::seconds(1));
+            std::printf("simulated clock: %.3fs\n", cluster.sim().now().sec());
+            continue;
+        }
+        const auto argv = kv::Sds::split_args(line);
+        if (!argv.has_value() || argv->empty()) {
+            std::printf("(parse error)\n");
+            continue;
+        }
+        std::vector<std::string> cmd;
+        cmd.reserve(argv->size());
+        for (const auto& a : *argv) cmd.push_back(a.str());
+        ch->send(kv::resp::command(cmd));
+        // Run the simulation until the reply has been printed.
+        cluster.sim().run_until(cluster.sim().now() + sim::milliseconds(50));
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "kv/backlog.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace skv::kv {
+
+ReplBacklog::ReplBacklog(std::size_t capacity) : buf_(capacity) {
+    assert(capacity > 0);
+}
+
+void ReplBacklog::append(std::string_view bytes) {
+    master_offset_ += static_cast<std::int64_t>(bytes.size());
+    // Only the trailing `capacity` bytes can ever matter.
+    if (bytes.size() >= buf_.size()) {
+        bytes.remove_prefix(bytes.size() - buf_.size());
+        std::memcpy(buf_.data(), bytes.data(), bytes.size());
+        head_ = bytes.size() % buf_.size();
+        used_ = buf_.size();
+        return;
+    }
+    const std::size_t first = std::min(bytes.size(), buf_.size() - head_);
+    std::memcpy(buf_.data() + head_, bytes.data(), first);
+    if (first < bytes.size()) {
+        std::memcpy(buf_.data(), bytes.data() + first, bytes.size() - first);
+    }
+    head_ = (head_ + bytes.size()) % buf_.size();
+    used_ = std::min(used_ + bytes.size(), buf_.size());
+}
+
+std::string ReplBacklog::read_from(std::int64_t from) const {
+    assert(can_serve(from));
+    const auto len = static_cast<std::size_t>(master_offset_ - from);
+    if (len == 0) return {};
+    // The ring's logical end is at head_; the wanted range ends there.
+    std::string out;
+    out.reserve(len);
+    const std::size_t start = (head_ + buf_.size() - len % buf_.size()) % buf_.size();
+    const std::size_t first = std::min(len, buf_.size() - start);
+    out.append(buf_.data() + start, first);
+    if (first < len) out.append(buf_.data(), len - first);
+    return out;
+}
+
+void ReplBacklog::clear() {
+    head_ = 0;
+    used_ = 0;
+    // master_offset_ is preserved: clearing the ring does not rewind
+    // replication history.
+}
+
+} // namespace skv::kv

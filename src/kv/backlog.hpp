@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skv::kv {
+
+/// The replication backlog: a fixed-capacity ring of the most recent bytes
+/// of the replication stream, indexed by the global replication offset.
+/// During initial synchronization the master checks whether a reconnecting
+/// slave's offset still lies inside the backlog — if so it serves the
+/// missing range (partial resync); if not it must ship a full RDB snapshot.
+class ReplBacklog {
+public:
+    explicit ReplBacklog(std::size_t capacity);
+
+    /// Append replication-stream bytes, advancing the master offset.
+    void append(std::string_view bytes);
+
+    /// Total bytes ever written (the "master replication offset").
+    [[nodiscard]] std::int64_t master_offset() const { return master_offset_; }
+
+    /// Smallest offset still retained in the ring.
+    [[nodiscard]] std::int64_t min_offset() const {
+        return master_offset_ - static_cast<std::int64_t>(used_);
+    }
+
+    /// Can the range [from, master_offset) be served from the ring?
+    [[nodiscard]] bool can_serve(std::int64_t from) const {
+        return from >= min_offset() && from <= master_offset_;
+    }
+
+    /// Bytes in [from, master_offset). Requires can_serve(from).
+    [[nodiscard]] std::string read_from(std::int64_t from) const;
+
+    [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+    [[nodiscard]] std::size_t used() const { return used_; }
+
+    void clear();
+
+private:
+    std::vector<char> buf_;
+    std::size_t head_ = 0; // next write position
+    std::size_t used_ = 0;
+    std::int64_t master_offset_ = 0;
+};
+
+} // namespace skv::kv

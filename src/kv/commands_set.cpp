@@ -1,0 +1,211 @@
+#include <algorithm>
+
+#include "kv/command.hpp"
+
+namespace skv::kv {
+
+namespace {
+
+void cmd_sadd(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        o = Object::make_set();
+        ctx.db.set_keep_ttl(ctx.argv[1], o);
+    }
+    long long added = 0;
+    for (std::size_t i = 2; i < ctx.argv.size(); ++i) {
+        if (o->set_add(ctx.argv[i])) ++added;
+    }
+    if (added > 0) {
+        ctx.db.mark_dirty();
+        ctx.dirty = true;
+    } else if (o->set_size() == 0) {
+        ctx.db.remove(ctx.argv[1]);
+    }
+    ctx.reply_integer(added);
+}
+
+void cmd_srem(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        ctx.reply_integer(0);
+        return;
+    }
+    long long removed = 0;
+    for (std::size_t i = 2; i < ctx.argv.size(); ++i) {
+        if (o->set_remove(ctx.argv[i])) ++removed;
+    }
+    if (o->set_size() == 0) ctx.db.remove(ctx.argv[1]);
+    if (removed > 0) {
+        ctx.db.mark_dirty();
+        ctx.dirty = true;
+    }
+    ctx.reply_integer(removed);
+}
+
+void cmd_sismember(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kSet, &type_err);
+    if (type_err) return;
+    ctx.reply_integer(o != nullptr && o->set_contains(ctx.argv[2]) ? 1 : 0);
+}
+
+void cmd_scard(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kSet, &type_err);
+    if (type_err) return;
+    ctx.reply_integer(o == nullptr ? 0 : static_cast<long long>(o->set_size()));
+}
+
+void cmd_smembers(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kSet, &type_err);
+    if (type_err) return;
+    std::vector<std::string> members =
+        o == nullptr ? std::vector<std::string>{} : o->set_members();
+    std::sort(members.begin(), members.end()); // deterministic output
+    ctx.reply += resp::array_header(members.size());
+    for (const auto& m : members) ctx.reply_bulk(m);
+}
+
+void cmd_spop(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        ctx.reply_null();
+        return;
+    }
+    const auto popped = o->set_pop(ctx.rng);
+    if (!popped.has_value()) {
+        ctx.reply_null();
+        return;
+    }
+    if (o->set_size() == 0) ctx.db.remove(ctx.argv[1]);
+    ctx.db.mark_dirty();
+    ctx.dirty = true;
+    // Non-deterministic: slaves must remove the member the master chose.
+    ctx.repl_override = std::vector<std::string>{"SREM", ctx.argv[1], *popped};
+    ctx.reply_bulk(*popped);
+}
+
+void cmd_srandmember(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr || o->set_size() == 0) {
+        ctx.reply_null();
+        return;
+    }
+    const auto members = o->set_members();
+    ctx.reply_bulk(members[ctx.rng.next_below(members.size())]);
+}
+
+void cmd_smove(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr src = ctx.lookup_typed(ctx.argv[1], ObjType::kSet, &type_err);
+    if (type_err) return;
+    ObjectPtr dst = ctx.lookup_typed(ctx.argv[2], ObjType::kSet, &type_err);
+    if (type_err) return;
+    if (src == nullptr || !src->set_contains(ctx.argv[3])) {
+        ctx.reply_integer(0);
+        return;
+    }
+    if (ctx.argv[1] == ctx.argv[2]) {
+        // Moving within one set: a successful no-op.
+        ctx.reply_integer(1);
+        return;
+    }
+    src->set_remove(ctx.argv[3]);
+    if (src->set_size() == 0) ctx.db.remove(ctx.argv[1]);
+    if (dst == nullptr) {
+        dst = Object::make_set();
+        ctx.db.set_keep_ttl(ctx.argv[2], dst);
+    }
+    dst->set_add(ctx.argv[3]);
+    ctx.db.mark_dirty();
+    ctx.dirty = true;
+    ctx.reply_integer(1);
+}
+
+/// SUNION/SINTER/SDIFF share the collection step.
+enum class SetOp { kUnion, kInter, kDiff };
+
+void generic_setop(CommandContext& ctx, SetOp op) {
+    std::vector<ObjectPtr> sets;
+    bool type_err = false;
+    for (std::size_t i = 1; i < ctx.argv.size(); ++i) {
+        ObjectPtr o = ctx.lookup_typed(ctx.argv[i], ObjType::kSet, &type_err);
+        if (type_err) return;
+        sets.push_back(std::move(o));
+    }
+    std::vector<std::string> result;
+    switch (op) {
+        case SetOp::kUnion: {
+            for (const auto& s : sets) {
+                if (s == nullptr) continue;
+                for (auto& m : s->set_members()) result.push_back(std::move(m));
+            }
+            std::sort(result.begin(), result.end());
+            result.erase(std::unique(result.begin(), result.end()), result.end());
+            break;
+        }
+        case SetOp::kInter: {
+            if (sets.empty() || sets[0] == nullptr) break;
+            for (auto& m : sets[0]->set_members()) {
+                bool in_all = true;
+                for (std::size_t i = 1; i < sets.size(); ++i) {
+                    if (sets[i] == nullptr || !sets[i]->set_contains(m)) {
+                        in_all = false;
+                        break;
+                    }
+                }
+                if (in_all) result.push_back(std::move(m));
+            }
+            std::sort(result.begin(), result.end());
+            break;
+        }
+        case SetOp::kDiff: {
+            if (sets.empty() || sets[0] == nullptr) break;
+            for (auto& m : sets[0]->set_members()) {
+                bool elsewhere = false;
+                for (std::size_t i = 1; i < sets.size(); ++i) {
+                    if (sets[i] != nullptr && sets[i]->set_contains(m)) {
+                        elsewhere = true;
+                        break;
+                    }
+                }
+                if (!elsewhere) result.push_back(std::move(m));
+            }
+            std::sort(result.begin(), result.end());
+            break;
+        }
+    }
+    ctx.reply += resp::array_header(result.size());
+    for (const auto& m : result) ctx.reply_bulk(m);
+}
+
+} // namespace
+
+void register_set_commands(CommandTable& t) {
+    t.add({"SADD", -3, kCmdWrite | kCmdFast, cmd_sadd});
+    t.add({"SREM", -3, kCmdWrite | kCmdFast, cmd_srem});
+    t.add({"SISMEMBER", 3, kCmdReadOnly | kCmdFast, cmd_sismember});
+    t.add({"SCARD", 2, kCmdReadOnly | kCmdFast, cmd_scard});
+    t.add({"SMEMBERS", 2, kCmdReadOnly, cmd_smembers});
+    t.add({"SPOP", 2, kCmdWrite | kCmdFast, cmd_spop});
+    t.add({"SRANDMEMBER", 2, kCmdReadOnly, cmd_srandmember});
+    t.add({"SMOVE", 4, kCmdWrite | kCmdFast, cmd_smove});
+    t.add({"SUNION", -2, kCmdReadOnly,
+           [](CommandContext& ctx) { generic_setop(ctx, SetOp::kUnion); }});
+    t.add({"SINTER", -2, kCmdReadOnly,
+           [](CommandContext& ctx) { generic_setop(ctx, SetOp::kInter); }});
+    t.add({"SDIFF", -2, kCmdReadOnly,
+           [](CommandContext& ctx) { generic_setop(ctx, SetOp::kDiff); }});
+}
+
+} // namespace skv::kv

@@ -1,0 +1,321 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "kv/command.hpp"
+
+namespace skv::kv {
+
+namespace {
+
+std::string format_score(double s) {
+    if (s == static_cast<long long>(s) && std::abs(s) < 1e17) {
+        return ll2string(static_cast<long long>(s));
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", s);
+    return buf;
+}
+
+/// Parse a ZRANGEBYSCORE bound: "(1.5" is exclusive, "1.5" inclusive,
+/// "-inf"/"+inf" open.
+bool parse_bound(std::string_view s, double* value, bool* exclusive) {
+    *exclusive = false;
+    if (!s.empty() && s[0] == '(') {
+        *exclusive = true;
+        s.remove_prefix(1);
+    }
+    const auto v = string2d(s);
+    if (!v.has_value()) return false;
+    *value = *v;
+    return true;
+}
+
+void cmd_zadd(CommandContext& ctx) {
+    std::size_t i = 2;
+    bool nx = false;
+    bool xx = false;
+    bool ch = false;
+    while (i < ctx.argv.size()) {
+        const Sds a(ctx.argv[i]);
+        if (a.iequals("NX")) {
+            nx = true;
+            ++i;
+        } else if (a.iequals("XX")) {
+            xx = true;
+            ++i;
+        } else if (a.iequals("CH")) {
+            ch = true;
+            ++i;
+        } else {
+            break;
+        }
+    }
+    if (nx && xx) {
+        ctx.reply_error(
+            "ERR XX and NX options at the same time are not compatible");
+        return;
+    }
+    const std::size_t remaining = ctx.argv.size() - i;
+    if (remaining == 0 || remaining % 2 != 0) {
+        ctx.reply_error("ERR syntax error");
+        return;
+    }
+    // Validate all scores before mutating anything.
+    std::vector<std::pair<double, std::string_view>> pairs;
+    for (std::size_t j = i; j + 1 < ctx.argv.size(); j += 2) {
+        const auto score = string2d(ctx.argv[j]);
+        if (!score.has_value()) {
+            ctx.reply_error("ERR value is not a valid float");
+            return;
+        }
+        pairs.emplace_back(*score, ctx.argv[j + 1]);
+    }
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        if (xx) {
+            ctx.reply_integer(0);
+            return;
+        }
+        o = Object::make_zset();
+        ctx.db.set_keep_ttl(ctx.argv[1], o);
+    }
+    long long added = 0;
+    long long changed = 0;
+    for (const auto& [score, member] : pairs) {
+        const auto existing = o->zscore(member);
+        if (existing.has_value()) {
+            if (nx) continue;
+            if (*existing != score) {
+                o->zadd(score, member);
+                ++changed;
+            }
+        } else {
+            if (xx) continue;
+            o->zadd(score, member);
+            ++added;
+        }
+    }
+    if (o->zcard() == 0) ctx.db.remove(ctx.argv[1]);
+    if (added + changed > 0) {
+        ctx.db.mark_dirty();
+        ctx.dirty = true;
+    }
+    ctx.reply_integer(ch ? added + changed : added);
+}
+
+void cmd_zrem(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        ctx.reply_integer(0);
+        return;
+    }
+    long long removed = 0;
+    for (std::size_t i = 2; i < ctx.argv.size(); ++i) {
+        if (o->zrem(ctx.argv[i])) ++removed;
+    }
+    if (o->zcard() == 0) ctx.db.remove(ctx.argv[1]);
+    if (removed > 0) {
+        ctx.db.mark_dirty();
+        ctx.dirty = true;
+    }
+    ctx.reply_integer(removed);
+}
+
+void cmd_zscore(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        ctx.reply_null();
+        return;
+    }
+    const auto s = o->zscore(ctx.argv[2]);
+    if (!s.has_value()) {
+        ctx.reply_null();
+    } else {
+        ctx.reply_bulk(format_score(*s));
+    }
+}
+
+void cmd_zcard(CommandContext& ctx) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    ctx.reply_integer(o == nullptr ? 0 : static_cast<long long>(o->zcard()));
+}
+
+void cmd_zrank(CommandContext& ctx, bool reverse) {
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        ctx.reply_null();
+        return;
+    }
+    const auto r = o->zrank(ctx.argv[2]);
+    if (!r.has_value()) {
+        ctx.reply_null();
+        return;
+    }
+    ctx.reply_integer(reverse ? static_cast<long long>(o->zcard() - 1 - *r)
+                              : static_cast<long long>(*r));
+}
+
+void cmd_zincrby(CommandContext& ctx) {
+    const auto delta = string2d(ctx.argv[2]);
+    if (!delta.has_value()) {
+        ctx.reply_error("ERR value is not a valid float");
+        return;
+    }
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        o = Object::make_zset();
+        ctx.db.set_keep_ttl(ctx.argv[1], o);
+    }
+    const double cur = o->zscore(ctx.argv[3]).value_or(0.0);
+    const double next = cur + *delta;
+    if (std::isnan(next)) {
+        ctx.reply_error("ERR resulting score is not a number (NaN)");
+        return;
+    }
+    o->zadd(next, ctx.argv[3]);
+    ctx.db.mark_dirty();
+    ctx.dirty = true;
+    // Replicate the absolute score so floating accumulation agrees.
+    ctx.repl_override = std::vector<std::string>{
+        "ZADD", ctx.argv[1], format_score(next), ctx.argv[3]};
+    ctx.reply_bulk(format_score(next));
+}
+
+void cmd_zrange(CommandContext& ctx, bool reverse) {
+    const auto start = string2ll(ctx.argv[2]);
+    const auto stop = string2ll(ctx.argv[3]);
+    if (!start.has_value() || !stop.has_value()) {
+        ctx.reply_error("ERR value is not an integer or out of range");
+        return;
+    }
+    bool withscores = false;
+    if (ctx.argv.size() == 5) {
+        if (!Sds(ctx.argv[4]).iequals("WITHSCORES")) {
+            ctx.reply_error("ERR syntax error");
+            return;
+        }
+        withscores = true;
+    }
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    if (o == nullptr) {
+        ctx.reply += resp::array_header(0);
+        return;
+    }
+    const auto len = static_cast<std::ptrdiff_t>(o->zcard());
+    std::ptrdiff_t s = static_cast<std::ptrdiff_t>(*start);
+    std::ptrdiff_t e = static_cast<std::ptrdiff_t>(*stop);
+    if (s < 0) s += len;
+    if (e < 0) e += len;
+    if (s < 0) s = 0;
+    if (e >= len) e = len - 1;
+    if (s > e || s >= len) {
+        ctx.reply += resp::array_header(0);
+        return;
+    }
+    const std::size_t count = static_cast<std::size_t>(e - s + 1);
+    ctx.reply += resp::array_header(withscores ? count * 2 : count);
+    for (std::ptrdiff_t i = s; i <= e; ++i) {
+        const std::ptrdiff_t rank0 = reverse ? len - 1 - i : i;
+        const SkipList::Node* n =
+            o->zsl().at_rank(static_cast<std::size_t>(rank0) + 1);
+        ctx.reply_bulk(n->member.view());
+        if (withscores) ctx.reply_bulk(format_score(n->score));
+    }
+}
+
+void cmd_zrangebyscore(CommandContext& ctx) {
+    double min;
+    double max;
+    bool min_ex;
+    bool max_ex;
+    if (!parse_bound(ctx.argv[2], &min, &min_ex) ||
+        !parse_bound(ctx.argv[3], &max, &max_ex)) {
+        ctx.reply_error("ERR min or max is not a float");
+        return;
+    }
+    bool withscores = false;
+    if (ctx.argv.size() == 5) {
+        if (!Sds(ctx.argv[4]).iequals("WITHSCORES")) {
+            ctx.reply_error("ERR syntax error");
+            return;
+        }
+        withscores = true;
+    }
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    std::vector<const SkipList::Node*> nodes;
+    if (o != nullptr) {
+        for (const SkipList::Node* n = o->zsl().first_in_range(min, min_ex);
+             n != nullptr; n = n->level[0].forward) {
+            if (max_ex ? n->score >= max : n->score > max) break;
+            nodes.push_back(n);
+        }
+    }
+    ctx.reply += resp::array_header(withscores ? nodes.size() * 2 : nodes.size());
+    for (const auto* n : nodes) {
+        ctx.reply_bulk(n->member.view());
+        if (withscores) ctx.reply_bulk(format_score(n->score));
+    }
+}
+
+void cmd_zcount(CommandContext& ctx) {
+    double min;
+    double max;
+    bool min_ex;
+    bool max_ex;
+    if (!parse_bound(ctx.argv[2], &min, &min_ex) ||
+        !parse_bound(ctx.argv[3], &max, &max_ex)) {
+        ctx.reply_error("ERR min or max is not a float");
+        return;
+    }
+    bool type_err = false;
+    ObjectPtr o = ctx.lookup_typed(ctx.argv[1], ObjType::kZSet, &type_err);
+    if (type_err) return;
+    long long count = 0;
+    if (o != nullptr) {
+        for (const SkipList::Node* n = o->zsl().first_in_range(min, min_ex);
+             n != nullptr; n = n->level[0].forward) {
+            if (max_ex ? n->score >= max : n->score > max) break;
+            ++count;
+        }
+    }
+    ctx.reply_integer(count);
+}
+
+} // namespace
+
+void register_zset_commands(CommandTable& t) {
+    t.add({"ZADD", -4, kCmdWrite | kCmdFast, cmd_zadd});
+    t.add({"ZREM", -3, kCmdWrite | kCmdFast, cmd_zrem});
+    t.add({"ZSCORE", 3, kCmdReadOnly | kCmdFast, cmd_zscore});
+    t.add({"ZCARD", 2, kCmdReadOnly | kCmdFast, cmd_zcard});
+    t.add({"ZRANK", 3, kCmdReadOnly | kCmdFast,
+           [](CommandContext& ctx) { cmd_zrank(ctx, false); }});
+    t.add({"ZREVRANK", 3, kCmdReadOnly | kCmdFast,
+           [](CommandContext& ctx) { cmd_zrank(ctx, true); }});
+    t.add({"ZINCRBY", 4, kCmdWrite | kCmdFast, cmd_zincrby});
+    t.add({"ZRANGE", -4, kCmdReadOnly,
+           [](CommandContext& ctx) { cmd_zrange(ctx, false); }});
+    t.add({"ZREVRANGE", -4, kCmdReadOnly,
+           [](CommandContext& ctx) { cmd_zrange(ctx, true); }});
+    t.add({"ZRANGEBYSCORE", -4, kCmdReadOnly, cmd_zrangebyscore});
+    t.add({"ZCOUNT", 4, kCmdReadOnly, cmd_zcount});
+}
+
+} // namespace skv::kv

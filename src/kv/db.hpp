@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kv/dict.hpp"
+#include "kv/object.hpp"
+#include "sim/rng.hpp"
+
+namespace skv::kv {
+
+/// The keyspace: a dict from key to object plus a dict from key to
+/// absolute expiry time (milliseconds), with Redis's two expiration
+/// mechanisms — lazy (on access) and active (random sampling from the
+/// expires dict, run from the server cron).
+///
+/// Time is injected: the server wires the simulated clock in, unit tests
+/// use a settable fake, so the engine itself stays simulation-agnostic.
+class Database {
+public:
+    explicit Database(std::function<std::int64_t()> clock_ms)
+        : clock_ms_(std::move(clock_ms)) {}
+
+    /// Read-path lookup with lazy expiration. Returns nullptr when the key
+    /// is missing or expired (expired keys are deleted on the spot).
+    ObjectPtr lookup(std::string_view key);
+
+    /// Bind `obj` to `key`, replacing any previous value and clearing any
+    /// previous expiry (SET semantics).
+    void set(std::string_view key, ObjectPtr obj);
+
+    /// Bind preserving an existing TTL (SETRANGE/APPEND-style updates
+    /// mutate in place, so only SET-like full replacement uses this=false).
+    void set_keep_ttl(std::string_view key, ObjectPtr obj);
+
+    bool remove(std::string_view key);
+    bool exists(std::string_view key);
+
+    /// Set the expiry of an existing key (absolute ms). False if no key.
+    bool set_expire(std::string_view key, std::int64_t at_ms);
+    /// Drop the expiry; true if there was one.
+    bool persist(std::string_view key);
+    [[nodiscard]] std::optional<std::int64_t> expire_at(std::string_view key) const;
+    /// Remaining TTL in ms: -2 missing key, -1 no expiry, else >= 0.
+    std::int64_t ttl_ms(std::string_view key);
+
+    [[nodiscard]] std::size_t size() const { return keys_.size(); }
+    [[nodiscard]] std::size_t expires_size() const { return expires_.size(); }
+    void clear();
+
+    /// One active-expire round: sample up to `samples` random entries of
+    /// the expires dict and delete the expired ones. Returns how many were
+    /// removed. Mirrors activeExpireCycle's sampling core.
+    std::size_t active_expire_cycle(sim::Rng& rng, std::size_t samples);
+
+    /// All live keys (KEYS *). Lazy expiration is applied.
+    std::vector<std::string> all_keys();
+
+    /// Uniformly random live key (RANDOMKEY); nullopt when empty.
+    std::optional<std::string> random_key(sim::Rng& rng);
+
+    [[nodiscard]] Dict<ObjectPtr>& keys() { return keys_; }
+    [[nodiscard]] const Dict<ObjectPtr>& keys() const { return keys_; }
+
+    /// Count of effective mutations since creation (drives replication
+    /// bookkeeping and RDB-save heuristics).
+    [[nodiscard]] std::uint64_t dirty() const { return dirty_; }
+    void mark_dirty() { ++dirty_; }
+
+    [[nodiscard]] std::int64_t now_ms() const { return clock_ms_(); }
+
+    /// Deep structural equality, expiry-aware (replication convergence
+    /// checks compare master and slave databases with this).
+    [[nodiscard]] bool equals(const Database& o) const;
+
+    [[nodiscard]] std::size_t memory_bytes() const;
+
+private:
+    [[nodiscard]] bool key_is_expired(std::string_view key) const;
+
+    std::function<std::int64_t()> clock_ms_;
+    Dict<ObjectPtr> keys_;
+    Dict<std::int64_t> expires_;
+    std::uint64_t dirty_ = 0;
+};
+
+} // namespace skv::kv

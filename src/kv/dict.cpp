@@ -1,0 +1,31 @@
+#include "kv/dict.hpp"
+
+namespace skv::kv {
+
+std::uint64_t dict_hash(std::string_view key) {
+    // xxh3-style avalanche over 8-byte lanes; deterministic and fast.
+    std::uint64_t h = 0x9E3779B185EBCA87ULL ^ (key.size() * 0xC2B2AE3D27D4EB4FULL);
+    std::size_t i = 0;
+    while (i + 8 <= key.size()) {
+        std::uint64_t lane = 0;
+        for (int b = 0; b < 8; ++b) {
+            lane |= static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(key[i + static_cast<std::size_t>(b)]))
+                    << (b * 8);
+        }
+        h ^= lane * 0x9E3779B185EBCA87ULL;
+        h = (h << 31) | (h >> 33);
+        h *= 0xC2B2AE3D27D4EB4FULL;
+        i += 8;
+    }
+    for (; i < key.size(); ++i) {
+        h ^= static_cast<unsigned char>(key[i]);
+        h *= 0x100000001B3ULL;
+    }
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return h;
+}
+
+} // namespace skv::kv

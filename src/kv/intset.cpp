@@ -1,0 +1,183 @@
+#include "kv/intset.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace skv::kv {
+
+IntSet::Encoding IntSet::required_encoding(std::int64_t v) {
+    if (v >= std::numeric_limits<std::int16_t>::min() &&
+        v <= std::numeric_limits<std::int16_t>::max()) {
+        return Encoding::kInt16;
+    }
+    if (v >= std::numeric_limits<std::int32_t>::min() &&
+        v <= std::numeric_limits<std::int32_t>::max()) {
+        return Encoding::kInt32;
+    }
+    return Encoding::kInt64;
+}
+
+std::int64_t IntSet::get(std::size_t i, Encoding enc) const {
+    const std::size_t w = static_cast<std::size_t>(enc);
+    assert((i + 1) * w <= buf_.size());
+    switch (enc) {
+        case Encoding::kInt16: {
+            std::int16_t v;
+            std::memcpy(&v, buf_.data() + i * w, w);
+            return v;
+        }
+        case Encoding::kInt32: {
+            std::int32_t v;
+            std::memcpy(&v, buf_.data() + i * w, w);
+            return v;
+        }
+        case Encoding::kInt64: {
+            std::int64_t v;
+            std::memcpy(&v, buf_.data() + i * w, w);
+            return v;
+        }
+    }
+    return 0;
+}
+
+void IntSet::set(std::size_t i, std::int64_t v) {
+    const std::size_t w = static_cast<std::size_t>(encoding_);
+    assert((i + 1) * w <= buf_.size());
+    switch (encoding_) {
+        case Encoding::kInt16: {
+            const auto x = static_cast<std::int16_t>(v);
+            std::memcpy(buf_.data() + i * w, &x, w);
+            break;
+        }
+        case Encoding::kInt32: {
+            const auto x = static_cast<std::int32_t>(v);
+            std::memcpy(buf_.data() + i * w, &x, w);
+            break;
+        }
+        case Encoding::kInt64:
+            std::memcpy(buf_.data() + i * w, &v, w);
+            break;
+    }
+}
+
+std::int64_t IntSet::at(std::size_t i) const {
+    assert(i < size_);
+    return get(i, encoding_);
+}
+
+std::int64_t IntSet::random(sim::Rng& rng) const {
+    assert(size_ > 0);
+    return at(rng.next_below(size_));
+}
+
+bool IntSet::search(std::int64_t v, std::size_t* pos) const {
+    if (size_ == 0) {
+        *pos = 0;
+        return false;
+    }
+    // Edge shortcuts, as in Redis intsetSearch.
+    if (v > at(size_ - 1)) {
+        *pos = size_;
+        return false;
+    }
+    if (v < at(0)) {
+        *pos = 0;
+        return false;
+    }
+    std::size_t lo = 0;
+    std::size_t hi = size_ - 1;
+    while (lo <= hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const std::int64_t cur = at(mid);
+        if (cur == v) {
+            *pos = mid;
+            return true;
+        }
+        if (cur < v) {
+            lo = mid + 1;
+        } else {
+            if (mid == 0) break;
+            hi = mid - 1;
+        }
+    }
+    *pos = lo;
+    return false;
+}
+
+void IntSet::upgrade_and_insert(std::int64_t v) {
+    const Encoding newenc = required_encoding(v);
+    assert(static_cast<int>(newenc) > static_cast<int>(encoding_));
+    const Encoding oldenc = encoding_;
+    const std::size_t n = size_;
+    const bool prepend = v < 0; // wider value sorts at one end by definition
+
+    std::vector<std::uint8_t> old = std::move(buf_);
+    encoding_ = newenc;
+    buf_.assign((n + 1) * static_cast<std::size_t>(newenc), 0);
+
+    // Re-encode the existing elements, shifted by one if prepending.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t e;
+        const std::size_t w = static_cast<std::size_t>(oldenc);
+        if (oldenc == Encoding::kInt16) {
+            std::int16_t x;
+            std::memcpy(&x, old.data() + i * w, w);
+            e = x;
+        } else if (oldenc == Encoding::kInt32) {
+            std::int32_t x;
+            std::memcpy(&x, old.data() + i * w, w);
+            e = x;
+        } else {
+            std::memcpy(&e, old.data() + i * w, w);
+        }
+        set(prepend ? i + 1 : i, e);
+    }
+    set(prepend ? 0 : n, v);
+    ++size_;
+}
+
+bool IntSet::insert(std::int64_t v) {
+    if (static_cast<int>(required_encoding(v)) > static_cast<int>(encoding_)) {
+        // The value cannot be present: it does not fit the current encoding.
+        upgrade_and_insert(v);
+        return true;
+    }
+    std::size_t pos;
+    if (search(v, &pos)) return false;
+    const std::size_t w = static_cast<std::size_t>(encoding_);
+    buf_.resize((size_ + 1) * w);
+    if (pos < size_) {
+        std::memmove(buf_.data() + (pos + 1) * w, buf_.data() + pos * w,
+                     (size_ - pos) * w);
+    }
+    ++size_;
+    set(pos, v);
+    return true;
+}
+
+bool IntSet::erase(std::int64_t v) {
+    if (static_cast<int>(required_encoding(v)) > static_cast<int>(encoding_)) {
+        return false;
+    }
+    std::size_t pos;
+    if (!search(v, &pos)) return false;
+    const std::size_t w = static_cast<std::size_t>(encoding_);
+    if (pos + 1 < size_) {
+        std::memmove(buf_.data() + pos * w, buf_.data() + (pos + 1) * w,
+                     (size_ - pos - 1) * w);
+    }
+    --size_;
+    buf_.resize(size_ * w);
+    return true;
+}
+
+bool IntSet::contains(std::int64_t v) const {
+    if (static_cast<int>(required_encoding(v)) > static_cast<int>(encoding_)) {
+        return false;
+    }
+    std::size_t pos;
+    return search(v, &pos);
+}
+
+} // namespace skv::kv

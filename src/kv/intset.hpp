@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace skv::kv {
+
+/// Redis intset: a sorted array of integers with the narrowest encoding
+/// that fits (int16 -> int32 -> int64), upgraded in place when a wider
+/// value arrives. Backs small all-integer SETs.
+class IntSet {
+public:
+    enum class Encoding : std::uint8_t { kInt16 = 2, kInt32 = 4, kInt64 = 8 };
+
+    IntSet() = default;
+
+    /// Insert; returns false if already present.
+    bool insert(std::int64_t v);
+    /// Remove; returns false if absent.
+    bool erase(std::int64_t v);
+    [[nodiscard]] bool contains(std::int64_t v) const;
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] Encoding encoding() const { return encoding_; }
+    [[nodiscard]] std::size_t memory_bytes() const {
+        return buf_.size();
+    }
+
+    /// Element at sorted position i (0-based).
+    [[nodiscard]] std::int64_t at(std::size_t i) const;
+
+    /// Uniformly random element; requires non-empty.
+    [[nodiscard]] std::int64_t random(sim::Rng& rng) const;
+
+private:
+    static Encoding required_encoding(std::int64_t v);
+    [[nodiscard]] std::int64_t get(std::size_t i, Encoding enc) const;
+    void set(std::size_t i, std::int64_t v);
+    /// Binary search; returns true and position if found, else insertion
+    /// position.
+    bool search(std::int64_t v, std::size_t* pos) const;
+    void upgrade_and_insert(std::int64_t v);
+
+    Encoding encoding_ = Encoding::kInt16;
+    std::size_t size_ = 0;
+    std::vector<std::uint8_t> buf_;
+};
+
+} // namespace skv::kv

@@ -1,0 +1,243 @@
+#include "kv/skiplist.hpp"
+
+#include <cassert>
+
+namespace skv::kv {
+
+namespace {
+
+/// Ordering on (score, member) pairs.
+bool precedes(double score_a, const Sds& member_a, double score_b,
+              const Sds& member_b) {
+    if (score_a != score_b) return score_a < score_b;
+    return member_a.compare(member_b) < 0;
+}
+
+} // namespace
+
+SkipList::SkipList(std::uint64_t seed) : rng_(seed) {
+    header_ = new Node;
+    header_->level.resize(kMaxLevel);
+}
+
+SkipList::~SkipList() {
+    Node* n = header_;
+    while (n != nullptr) {
+        Node* next = n->level[0].forward;
+        delete n;
+        n = next;
+    }
+}
+
+int SkipList::random_level() {
+    int lvl = 1;
+    while (lvl < kMaxLevel && rng_.next_double() < kP) ++lvl;
+    return lvl;
+}
+
+void SkipList::insert(double score, const Sds& member) {
+    Node* update[kMaxLevel];
+    std::size_t rank_at[kMaxLevel];
+
+    Node* x = header_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        rank_at[i] = (i == level_ - 1) ? 0 : rank_at[i + 1];
+        while (x->level[static_cast<std::size_t>(i)].forward != nullptr &&
+               precedes(x->level[static_cast<std::size_t>(i)].forward->score,
+                        x->level[static_cast<std::size_t>(i)].forward->member,
+                        score, member)) {
+            rank_at[i] += x->level[static_cast<std::size_t>(i)].span;
+            x = x->level[static_cast<std::size_t>(i)].forward;
+        }
+        update[i] = x;
+    }
+
+    const int lvl = random_level();
+    if (lvl > level_) {
+        for (int i = level_; i < lvl; ++i) {
+            rank_at[i] = 0;
+            update[i] = header_;
+            update[i]->level[static_cast<std::size_t>(i)].span = length_;
+        }
+        level_ = lvl;
+    }
+
+    Node* n = new Node;
+    n->member = member;
+    n->score = score;
+    n->level.resize(static_cast<std::size_t>(lvl));
+
+    for (int i = 0; i < lvl; ++i) {
+        auto& ul = update[i]->level[static_cast<std::size_t>(i)];
+        n->level[static_cast<std::size_t>(i)].forward = ul.forward;
+        ul.forward = n;
+        n->level[static_cast<std::size_t>(i)].span =
+            ul.span - (rank_at[0] - rank_at[i]);
+        ul.span = (rank_at[0] - rank_at[i]) + 1;
+    }
+    for (int i = lvl; i < level_; ++i) {
+        ++update[i]->level[static_cast<std::size_t>(i)].span;
+    }
+
+    n->backward = (update[0] == header_) ? nullptr : update[0];
+    if (n->level[0].forward != nullptr) {
+        n->level[0].forward->backward = n;
+    } else {
+        tail_ = n;
+    }
+    ++length_;
+}
+
+bool SkipList::erase(double score, const Sds& member) {
+    Node* update[kMaxLevel];
+    Node* x = header_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->level[static_cast<std::size_t>(i)].forward != nullptr &&
+               precedes(x->level[static_cast<std::size_t>(i)].forward->score,
+                        x->level[static_cast<std::size_t>(i)].forward->member,
+                        score, member)) {
+            x = x->level[static_cast<std::size_t>(i)].forward;
+        }
+        update[i] = x;
+    }
+    x = x->level[0].forward;
+    if (x == nullptr || x->score != score || !(x->member == member)) return false;
+
+    for (int i = 0; i < level_; ++i) {
+        auto& ul = update[i]->level[static_cast<std::size_t>(i)];
+        if (ul.forward == x) {
+            ul.span += x->level[static_cast<std::size_t>(i)].span - 1;
+            ul.forward = x->level[static_cast<std::size_t>(i)].forward;
+        } else {
+            --ul.span;
+        }
+    }
+    if (x->level[0].forward != nullptr) {
+        x->level[0].forward->backward = x->backward;
+    } else {
+        tail_ = x->backward;
+    }
+    delete x;
+    while (level_ > 1 &&
+           header_->level[static_cast<std::size_t>(level_ - 1)].forward == nullptr) {
+        --level_;
+    }
+    --length_;
+    return true;
+}
+
+void SkipList::update_score(double cur_score, const Sds& member,
+                            double new_score) {
+    // Fast path: if the node stays between its neighbours, mutate in place.
+    // Otherwise remove + reinsert (exactly zslUpdateScore).
+    Node* x = header_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->level[static_cast<std::size_t>(i)].forward != nullptr &&
+               precedes(x->level[static_cast<std::size_t>(i)].forward->score,
+                        x->level[static_cast<std::size_t>(i)].forward->member,
+                        cur_score, member)) {
+            x = x->level[static_cast<std::size_t>(i)].forward;
+        }
+    }
+    x = x->level[0].forward;
+    assert(x != nullptr && x->score == cur_score && x->member == member);
+
+    const bool fits_before =
+        (x->backward == nullptr || x->backward->score < new_score ||
+         (x->backward->score == new_score && x->backward->member.compare(member) < 0));
+    const bool fits_after =
+        (x->level[0].forward == nullptr || x->level[0].forward->score > new_score ||
+         (x->level[0].forward->score == new_score &&
+          x->level[0].forward->member.compare(member) > 0));
+    if (fits_before && fits_after) {
+        x->score = new_score;
+        return;
+    }
+    const Sds saved = x->member;
+    erase(cur_score, member);
+    insert(new_score, saved);
+}
+
+std::size_t SkipList::rank(double score, const Sds& member) const {
+    std::size_t r = 0;
+    const Node* x = header_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->level[static_cast<std::size_t>(i)].forward != nullptr &&
+               !precedes(score, member,
+                         x->level[static_cast<std::size_t>(i)].forward->score,
+                         x->level[static_cast<std::size_t>(i)].forward->member)) {
+            r += x->level[static_cast<std::size_t>(i)].span;
+            x = x->level[static_cast<std::size_t>(i)].forward;
+        }
+    }
+    if (x != header_ && x->member == member) return r;
+    return 0;
+}
+
+const SkipList::Node* SkipList::at_rank(std::size_t r) const {
+    if (r == 0 || r > length_) return nullptr;
+    std::size_t traversed = 0;
+    const Node* x = header_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->level[static_cast<std::size_t>(i)].forward != nullptr &&
+               traversed + x->level[static_cast<std::size_t>(i)].span <= r) {
+            traversed += x->level[static_cast<std::size_t>(i)].span;
+            x = x->level[static_cast<std::size_t>(i)].forward;
+        }
+        if (traversed == r) return x == header_ ? nullptr : x;
+    }
+    return nullptr;
+}
+
+const SkipList::Node* SkipList::first_in_range(double min,
+                                               bool min_exclusive) const {
+    const Node* x = header_;
+    for (int i = level_ - 1; i >= 0; --i) {
+        while (x->level[static_cast<std::size_t>(i)].forward != nullptr &&
+               (min_exclusive
+                    ? x->level[static_cast<std::size_t>(i)].forward->score <= min
+                    : x->level[static_cast<std::size_t>(i)].forward->score < min)) {
+            x = x->level[static_cast<std::size_t>(i)].forward;
+        }
+    }
+    return x->level[0].forward;
+}
+
+bool SkipList::check_invariants(std::string* why) const {
+    auto fail = [&](const char* msg) {
+        if (why) *why = msg;
+        return false;
+    };
+    // Level-0 ordering + backward links + length.
+    std::size_t n = 0;
+    const Node* prev = nullptr;
+    for (const Node* x = header_->level[0].forward; x != nullptr;
+         x = x->level[0].forward) {
+        if (prev != nullptr &&
+            !precedes(prev->score, prev->member, x->score, x->member)) {
+            return fail("level-0 ordering violated");
+        }
+        if (x->backward != prev) return fail("backward link broken");
+        prev = x;
+        ++n;
+    }
+    if (n != length_) return fail("length mismatch");
+    if (tail_ != prev) return fail("tail mismatch");
+    // Span sums: at every level, spans along the chain must sum to length+?
+    for (int i = 0; i < level_; ++i) {
+        std::size_t sum = 0;
+        for (const Node* x = header_; x != nullptr;
+             x = x->level.size() > static_cast<std::size_t>(i)
+                     ? x->level[static_cast<std::size_t>(i)].forward
+                     : nullptr) {
+            if (x->level.size() <= static_cast<std::size_t>(i)) break;
+            if (x->level[static_cast<std::size_t>(i)].forward != nullptr) {
+                sum += x->level[static_cast<std::size_t>(i)].span;
+            }
+        }
+        if (sum > length_) return fail("span sum exceeds length");
+    }
+    return true;
+}
+
+} // namespace skv::kv

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kv/sds.hpp"
+#include "sim/rng.hpp"
+
+namespace skv::kv {
+
+/// Redis zskiplist: ordered by (score, member), with per-link span counts
+/// so rank queries are O(log n). Backs the ZSET type together with a dict
+/// from member to score.
+class SkipList {
+public:
+    static constexpr int kMaxLevel = 32;
+    static constexpr double kP = 0.25;
+
+    struct Node {
+        Sds member;
+        double score = 0;
+        Node* backward = nullptr;
+        struct Link {
+            Node* forward = nullptr;
+            std::size_t span = 0;
+        };
+        std::vector<Link> level;
+    };
+
+    explicit SkipList(std::uint64_t seed = 0xD1CEULL);
+    ~SkipList();
+
+    SkipList(const SkipList&) = delete;
+    SkipList& operator=(const SkipList&) = delete;
+
+    /// Insert (score, member). The caller guarantees the member is not
+    /// already present (the zset dict enforces that).
+    void insert(double score, const Sds& member);
+
+    /// Remove (score, member); returns false if absent.
+    bool erase(double score, const Sds& member);
+
+    /// Change the score of an existing (cur_score, member) node. Moves the
+    /// node only if required by the new ordering.
+    void update_score(double cur_score, const Sds& member, double new_score);
+
+    /// 1-based rank of (score, member); 0 if absent.
+    [[nodiscard]] std::size_t rank(double score, const Sds& member) const;
+
+    /// Node at 1-based rank; nullptr when out of range.
+    [[nodiscard]] const Node* at_rank(std::size_t r) const;
+
+    /// First node with score >= min (for ZRANGEBYSCORE).
+    [[nodiscard]] const Node* first_in_range(double min, bool min_exclusive) const;
+
+    [[nodiscard]] const Node* head() const {
+        return header_->level[0].forward;
+    }
+    [[nodiscard]] const Node* tail() const { return tail_; }
+
+    [[nodiscard]] std::size_t size() const { return length_; }
+    [[nodiscard]] int levels() const { return level_; }
+
+    /// Verify structural invariants (ordering, spans, backward links).
+    /// Used by tests; returns false and fills `why` when broken.
+    bool check_invariants(std::string* why = nullptr) const;
+
+private:
+    int random_level();
+
+    Node* header_;
+    Node* tail_ = nullptr;
+    std::size_t length_ = 0;
+    int level_ = 1;
+    sim::Rng rng_;
+};
+
+} // namespace skv::kv

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cpu/core.hpp"
+#include "net/fabric.hpp"
+
+namespace skv::net {
+
+/// A node as seen by the transport layers: its fabric endpoint plus the
+/// core that pays transport CPU costs (syscalls, WR posts) on that node.
+struct NodeRef {
+    EndpointId ep = kInvalidEndpoint;
+    cpu::Core* core = nullptr;
+    [[nodiscard]] bool valid() const { return ep != kInvalidEndpoint && core != nullptr; }
+};
+
+/// A bidirectional, message-oriented pipe between two nodes. Implemented
+/// by the kernel-TCP model (net::TcpNetwork) and by the RDMA ring-buffer
+/// messenger (rdma::RingChannel). Servers and clients are written against
+/// this interface so the same Host-KV code runs over either transport,
+/// mirroring how SKV swaps Redis's TCP layer for verbs.
+///
+/// Delivery is asynchronous: send() returns immediately after charging the
+/// local transport cost; the peer's message handler fires when the payload
+/// has crossed the simulated network and the peer paid its receive cost.
+class Channel {
+public:
+    using MessageHandler = std::function<void(std::string payload)>;
+
+    virtual ~Channel() = default;
+
+    /// Queue `payload` for transmission to the peer.
+    virtual void send(std::string payload) = 0;
+
+    /// Install the receive handler. Messages arriving before a handler is
+    /// installed are buffered and delivered on installation.
+    virtual void set_on_message(MessageHandler handler) = 0;
+
+    /// Tear down this side of the channel. In-flight messages are dropped.
+    virtual void close() = 0;
+
+    [[nodiscard]] virtual bool open() const = 0;
+
+    /// Fabric endpoint of the remote side (for diagnostics).
+    [[nodiscard]] virtual EndpointId peer() const = 0;
+
+    /// Bytes queued locally but not yet accepted by the transport (send
+    /// backlog). Used by replication-lag accounting.
+    [[nodiscard]] virtual std::size_t backlog_bytes() const = 0;
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+} // namespace skv::net

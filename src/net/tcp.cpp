@@ -1,0 +1,119 @@
+#include "net/tcp.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace skv::net {
+
+TcpNetwork::TcpNetwork(sim::Simulation& sim, Fabric& fabric,
+                       const cpu::CostModel& costs)
+    : sim_(sim), fabric_(fabric), costs_(costs), rng_(sim.fork_rng()) {}
+
+void TcpNetwork::listen(NodeRef node, std::uint16_t port, AcceptHandler on_accept) {
+    assert(node.valid());
+    listeners_[ListenerKey{node.ep, port}] = Listener{node, std::move(on_accept)};
+}
+
+void TcpNetwork::stop_listening(EndpointId ep, std::uint16_t port) {
+    listeners_.erase(ListenerKey{ep, port});
+}
+
+void TcpNetwork::connect(NodeRef from, EndpointId to, std::uint16_t port,
+                         ConnectHandler on_connected) {
+    assert(from.valid());
+    // SYN: one control message across the fabric plus kernel work on the
+    // initiator.
+    from.core->consume(costs_.jittered(rng_, costs_.tcp_side_cost(64)));
+    fabric_.send(from.ep, to, 64, [this, from, to, port,
+                                   on_connected = std::move(on_connected)]() mutable {
+        auto it = listeners_.find(ListenerKey{to, port});
+        if (it == listeners_.end()) return; // connection refused: no SYN-ACK
+        const Listener listener = it->second;
+        // SYN-ACK back to the initiator; accept() completes on arrival.
+        listener.node.core->consume(costs_.jittered(rng_, costs_.tcp_side_cost(64)));
+        fabric_.send(to, from.ep, 64, [this, from, listener,
+                                       on_connected = std::move(on_connected)]() {
+            auto client_side = std::make_shared<TcpChannel>(*this, from, listener.node.ep);
+            auto server_side = std::make_shared<TcpChannel>(*this, listener.node, from.ep);
+            client_side->wire(server_side);
+            server_side->wire(client_side);
+            if (listener.on_accept) listener.on_accept(server_side);
+            if (on_connected) on_connected(client_side);
+        });
+    });
+}
+
+TcpChannel::TcpChannel(TcpNetwork& net, NodeRef self, EndpointId peer)
+    : net_(net), self_(self), peer_(peer), rng_(net.simulation().fork_rng()) {}
+
+void TcpChannel::send(std::string payload) {
+    if (!open_) return;
+    const std::size_t bytes = payload.size();
+    auto remote = remote_.lock();
+    if (!remote) return;
+    // Sender-side kernel work: send() syscall, protocol processing, copy
+    // user -> kernel -> NIC. The segment leaves once that work is done.
+    auto self = shared_from_this();
+    self_.core->submit(
+        net_.costs().jittered(rng_, net_.costs().tcp_side_cost(bytes)),
+        [self, remote, bytes, payload = std::move(payload)]() mutable {
+            self->net_.fabric().send(
+                self->self_.ep, self->peer_, bytes + 66 /* eth+ip+tcp hdrs */,
+                [remote, payload = std::move(payload)]() mutable {
+                    remote->deliver(std::move(payload));
+                });
+        });
+}
+
+void TcpChannel::deliver(std::string payload) {
+    if (!open_) return;
+    // Receiver-side kernel work happens when the application read()s: the
+    // cost lands on the receiver's core ahead of the message handler, so
+    // the handler observes post-syscall timing.
+    const std::size_t bytes = payload.size();
+    auto self = shared_from_this();
+    self_.core->submit(
+        net_.costs().jittered(rng_, net_.costs().tcp_side_cost(bytes)),
+        [self, payload = std::move(payload)]() mutable {
+            if (!self->open_) return;
+            if (self->on_message_) {
+                self->on_message_(std::move(payload));
+            } else {
+                self->pending_.push_back(std::move(payload));
+            }
+        });
+}
+
+void TcpChannel::set_on_message(MessageHandler handler) {
+    on_message_ = std::move(handler);
+    while (on_message_ && !pending_.empty()) {
+        auto payload = std::move(pending_.front());
+        pending_.pop_front();
+        on_message_(std::move(payload));
+    }
+}
+
+void TcpChannel::close() {
+    // Half-close: this side stops sending and receiving, but data already
+    // on the wire toward the peer still arrives (FIN does not beat it).
+    open_ = false;
+    pending_.clear();
+    if (auto remote = remote_.lock()) {
+        // The peer learns of the close asynchronously (FIN). The FIN rides
+        // the same kernel send path, so it cannot overtake replies that
+        // were queued before the close.
+        auto self = shared_from_this();
+        self_.core->submit(net_.costs().tcp_side_cost(0), [self, remote]() {
+            self->net_.fabric().send(
+                self->self_.ep, self->peer_, 64, [remote]() {
+                    // The FIN is processed by the peer's kernel in order
+                    // with the data segments that preceded it.
+                    remote->self_.core->submit(
+                        remote->net_.costs().tcp_side_cost(0),
+                        [remote]() { remote->open_ = false; });
+                });
+        });
+    }
+}
+
+} // namespace skv::net

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "rdma/ring_channel.hpp"
+#include "rdma/verbs.hpp"
+
+namespace skv::rdma {
+
+/// RDMA_CM analogue: listeners bound to (endpoint, port), and a
+/// REQ/REP/RTU handshake that also performs the paper's MR-information
+/// exchange ("the client and the server exchange their Memory Region
+/// information using SEND/RECV primitives"), after which both sides hold a
+/// connected RingChannel.
+class ConnectionManager {
+public:
+    using AcceptHandler = std::function<void(RingChannelPtr)>;
+    using ConnectHandler = std::function<void(RingChannelPtr)>;
+
+    explicit ConnectionManager(RdmaNetwork& net) : net_(net) {}
+
+    void listen(net::NodeRef node, std::uint16_t port, AcceptHandler on_accept,
+                RingParams params = {});
+    void stop_listening(net::EndpointId ep, std::uint16_t port);
+
+    /// Initiate a connection. `on_connected` receives the client-side
+    /// channel, or nullptr if the peer rejected (nobody listening).
+    void connect(net::NodeRef from, net::EndpointId to, std::uint16_t port,
+                 ConnectHandler on_connected, RingParams params = {});
+
+private:
+    struct ListenerKey {
+        net::EndpointId ep;
+        std::uint16_t port;
+        bool operator<(const ListenerKey& o) const {
+            return ep != o.ep ? ep < o.ep : port < o.port;
+        }
+    };
+
+    struct Listener {
+        net::NodeRef node;
+        AcceptHandler on_accept;
+        RingParams params;
+    };
+
+    /// Control-plane message size on the wire (CM MAD + MR info).
+    static constexpr std::size_t kCtrlBytes = 96;
+
+    RdmaNetwork& net_;
+    std::map<ListenerKey, Listener> listeners_;
+};
+
+} // namespace skv::rdma

@@ -1,0 +1,222 @@
+#include "rdma/ring_channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace skv::rdma {
+
+RingChannel::RingChannel(RdmaNetwork& net, net::NodeRef self,
+                         net::EndpointId peer, RingParams params)
+    : net_(net), self_(self), peer_(peer), params_(params),
+      rng_(net.simulation().fork_rng()) {
+    assert(params_.ring_bytes > 0);
+    assert(params_.credit_threshold > 0);
+    // A credit threshold above half the ring can deadlock: the sender's
+    // window empties before the receiver ever announces consumption.
+    params_.credit_threshold =
+        std::min(params_.credit_threshold, params_.ring_bytes / 2);
+}
+
+void RingChannel::init_local() {
+    channel_ = std::make_shared<CompletionChannel>(net_.simulation());
+    send_cq_ = std::make_shared<CompletionQueue>(channel_.get());
+    recv_cq_ = std::make_shared<CompletionQueue>(channel_.get());
+    recv_mr_ = net_.register_mr(self_, params_.ring_bytes);
+    auto weak = weak_from_this();
+    channel_->set_on_event([weak]() {
+        if (auto self = weak.lock()) self->on_cq_event();
+    });
+    channel_->req_notify();
+}
+
+void RingChannel::attach(QueuePairPtr own_qp, std::uint32_t remote_rkey,
+                         std::size_t remote_capacity) {
+    assert(own_qp);
+    qp_ = std::move(own_qp);
+    remote_rkey_ = remote_rkey;
+    remote_capacity_ = remote_capacity;
+    free_space_ = remote_capacity;
+    replenish_recvs();
+    pump_backlog();
+}
+
+void RingChannel::replenish_recvs() {
+    if (!qp_) return;
+    if (posted_recvs_ > params_.recv_low_water) return;
+    while (posted_recvs_ < params_.recv_batch) {
+        // Receives for WRITE_WITH_IMM carry no buffer (the data already
+        // landed in the ring); credit SENDs are small control frames.
+        qp_->post_recv(next_wr_id_++, recv_mr_, 0, 0);
+        ++posted_recvs_;
+    }
+}
+
+std::string RingChannel::encode_credit(std::uint64_t bytes) {
+    std::string s(8, '\0');
+    for (int i = 0; i < 8; ++i) s[static_cast<std::size_t>(i)] = static_cast<char>(bytes >> (i * 8));
+    return s;
+}
+
+std::uint64_t RingChannel::decode_credit(std::string_view payload) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8 && static_cast<std::size_t>(i) < payload.size(); ++i) {
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                 payload[static_cast<std::size_t>(i)]))
+             << (i * 8);
+    }
+    return v;
+}
+
+void RingChannel::send(std::string payload) {
+    if (!open_) return;
+    // Fragment large messages so a frame always fits the ring with room
+    // for flow control to make progress.
+    const std::size_t limit = max_fragment();
+    std::size_t off = 0;
+    do {
+        const std::size_t n = std::min(limit, payload.size() - off);
+        const bool final = off + n == payload.size();
+        std::string frame;
+        frame.reserve(n + 1);
+        frame.push_back(final ? kFinal : kMore);
+        frame.append(payload, off, n);
+        off += n;
+        if (qp_ && backlog_.empty() && frame.size() <= free_space_) {
+            transmit(std::move(frame));
+        } else {
+            backlog_bytes_ += frame.size();
+            backlog_.push_back(std::move(frame));
+        }
+    } while (off < payload.size());
+}
+
+void RingChannel::pump_backlog() {
+    while (qp_ && !backlog_.empty() && backlog_.front().size() <= free_space_) {
+        std::string payload = std::move(backlog_.front());
+        backlog_.pop_front();
+        backlog_bytes_ -= payload.size();
+        transmit(std::move(payload));
+    }
+}
+
+void RingChannel::transmit(std::string payload) {
+    const std::size_t len = payload.size();
+    assert(len <= free_space_);
+    free_space_ -= len;
+    SendWr wr;
+    wr.wr_id = next_wr_id_++;
+    wr.op = Opcode::kWriteWithImm;
+    wr.payload = std::move(payload);
+    wr.rkey = remote_rkey_;
+    wr.remote_offset = write_cursor_;
+    wr.wrapped = true;
+    wr.has_imm = true;
+    wr.imm = static_cast<std::uint32_t>(len);
+    // Selective signaling: ring progress is tracked by credits, so data
+    // frames need no send completion — the CPU never touches them again.
+    wr.signaled = false;
+    write_cursor_ = (write_cursor_ + len) % remote_capacity_;
+    ++frames_sent_;
+    qp_->post_send(std::move(wr));
+}
+
+void RingChannel::on_cq_event() {
+    if (!open_) return;
+    // A halted (crashed) host consumes no completions, but the channel
+    // must stay armed so completions arriving after a restart still wake
+    // the owner (fire() disarmed it before calling us).
+    if (self_.core->halted()) {
+        channel_->req_notify();
+        return;
+    }
+    // The completion event wakes the owner; CQ processing runs as one task
+    // on the owner's core (ibv_get_cq_event + ibv_poll_cq + ack + re-arm).
+    if (cq_task_scheduled_) return;
+    cq_task_scheduled_ = true;
+    auto self = shared_from_this();
+    self_.core->submit(
+        net_.costs().jittered(rng_, net_.costs().completion_handle), [self]() {
+            self->cq_task_scheduled_ = false;
+            if (!self->open_) return;
+            self->batch_data_bytes_ = 0;
+            for (const auto& c : self->recv_cq_->poll()) self->handle_completion(c);
+            // If one batch drained (almost) the sender's whole window, the
+            // ring had filled: per the paper's protocol the receive MR is
+            // re-registered before its information is announced again.
+            if (self->batch_data_bytes_ + self->params_.credit_threshold >=
+                self->params_.ring_bytes) {
+                self->recv_mr_->reregister();
+                self->self_.core->consume(self->net_.costs().mr_register);
+                ++self->reregs_;
+            }
+            self->send_cq_->poll(); // send completions: bookkeeping only
+            self->channel_->req_notify();
+            self->replenish_recvs();
+        });
+}
+
+void RingChannel::handle_completion(const Completion& c) {
+    if (c.op != Opcode::kRecv) return;
+    assert(posted_recvs_ > 0);
+    --posted_recvs_;
+    if (c.has_imm) {
+        handle_data(c.imm);
+    } else {
+        // Credit-return SEND: the peer consumed bytes from our remote ring
+        // view, and (if it had filled) re-registered its MR.
+        const std::uint64_t credited = decode_credit(c.inline_payload);
+        free_space_ = std::min(free_space_ + credited, remote_capacity_);
+        pump_backlog();
+    }
+}
+
+void RingChannel::handle_data(std::uint32_t len) {
+    std::string frame = recv_mr_->read_wrapped(read_cursor_, len);
+    read_cursor_ = (read_cursor_ + len) % params_.ring_bytes;
+    consumed_since_credit_ += len;
+    batch_data_bytes_ += len;
+    ++frames_received_;
+    maybe_return_credits();
+    if (frame.empty()) return;
+    const char flag = frame[0];
+    reassembly_.append(frame, 1, frame.size() - 1);
+    if (flag != kFinal) return;
+    std::string payload = std::move(reassembly_);
+    reassembly_.clear();
+    if (on_message_) {
+        on_message_(std::move(payload));
+    } else {
+        pending_.push_back(std::move(payload));
+    }
+}
+
+void RingChannel::maybe_return_credits() {
+    if (consumed_since_credit_ < params_.credit_threshold) return;
+    SendWr wr;
+    wr.wr_id = next_wr_id_++;
+    wr.op = Opcode::kSend;
+    wr.payload = encode_credit(consumed_since_credit_);
+    consumed_since_credit_ = 0;
+    ++credit_msgs_;
+    qp_->post_send(std::move(wr));
+}
+
+void RingChannel::set_on_message(MessageHandler handler) {
+    on_message_ = std::move(handler);
+    while (on_message_ && !pending_.empty()) {
+        auto payload = std::move(pending_.front());
+        pending_.pop_front();
+        on_message_(std::move(payload));
+    }
+}
+
+void RingChannel::close() {
+    open_ = false;
+    if (qp_) qp_->disconnect();
+    backlog_.clear();
+    backlog_bytes_ = 0;
+    pending_.clear();
+}
+
+} // namespace skv::rdma

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace skv::server {
+
+/// Which transport a server speaks to its clients and peers.
+enum class Transport : std::uint8_t { kTcp, kRdma };
+
+/// Replication role of a Host-KV instance.
+enum class Role : std::uint8_t { kStandalone, kMaster, kSlave };
+
+const char* to_string(Transport t);
+const char* to_string(Role r);
+
+struct ServerConfig {
+    std::string name = "kv";
+    Transport transport = Transport::kRdma;
+    std::uint16_t port = 6379;
+
+    /// SKV mode: the master posts one replication request to Nic-KV per
+    /// write instead of fanning out to every slave itself.
+    bool offload_replication = false;
+
+    /// Replication backlog ring capacity.
+    std::size_t backlog_bytes = 1 << 20;
+
+    /// Paper §III-D knobs: writes fail when fewer than `min_slaves` replicas
+    /// are reachable, and replication progress lagging more than
+    /// `max_repl_lag_bytes` behind returns an error to writing clients.
+    int min_slaves = 0;
+    std::int64_t max_repl_lag_bytes = 256 * 1024 * 1024;
+
+    /// Slave -> master progress report interval (paper Fig. 9 step 3).
+    sim::Duration ack_interval{sim::milliseconds(100)};
+
+    /// serverCron cadence: active expiry, dict rehash steps, bookkeeping.
+    sim::Duration cron_interval{sim::milliseconds(100)};
+
+    /// Active-expire sample size per cron tick.
+    std::size_t expire_samples = 20;
+};
+
+} // namespace skv::server

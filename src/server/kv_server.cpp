@@ -1,0 +1,663 @@
+#include "server/kv_server.hpp"
+
+#include "kv/rdb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace skv::server {
+
+const char* to_string(Transport t) {
+    switch (t) {
+        case Transport::kTcp: return "tcp";
+        case Transport::kRdma: return "rdma";
+    }
+    return "?";
+}
+
+const char* to_string(Role r) {
+    switch (r) {
+        case Role::kStandalone: return "standalone";
+        case Role::kMaster: return "master";
+        case Role::kSlave: return "slave";
+    }
+    return "?";
+}
+
+KvServer::KvServer(sim::Simulation& sim, const cpu::CostModel& costs,
+                   Transports nets, net::NodeRef self, ServerConfig cfg)
+    : sim_(sim), costs_(costs), nets_(nets), self_(self), cfg_(std::move(cfg)),
+      rng_(sim.fork_rng()),
+      db_([&sim]() { return sim.now().ns() / 1'000'000; }),
+      backlog_(cfg_.backlog_bytes),
+      commands_table_(kv::CommandTable::instance()) {
+    assert(self_.valid());
+    assert(nets_.fabric != nullptr);
+    assert(cfg_.transport == Transport::kTcp ? nets_.tcp != nullptr
+                                             : nets_.cm != nullptr);
+}
+
+void KvServer::start() {
+    assert(!started_);
+    started_ = true;
+    listen_all();
+    sim_.after(cfg_.cron_interval, [this]() { cron(); });
+}
+
+void KvServer::listen_all() {
+    auto client_accept = [this](net::ChannelPtr ch) {
+        if (ch) on_client_accept(std::move(ch));
+    };
+    auto node_accept = [this](net::ChannelPtr ch) {
+        if (ch) on_node_accept(std::move(ch));
+    };
+    if (cfg_.transport == Transport::kTcp) {
+        nets_.tcp->listen(self_, cfg_.port, client_accept);
+        nets_.tcp->listen(self_, static_cast<std::uint16_t>(cfg_.port + 1),
+                          node_accept);
+    } else {
+        nets_.cm->listen(self_, cfg_.port, client_accept);
+        nets_.cm->listen(self_, static_cast<std::uint16_t>(cfg_.port + 1),
+                         node_accept);
+    }
+}
+
+// --- connections -------------------------------------------------------------
+
+void KvServer::on_client_accept(net::ChannelPtr ch) {
+    auto conn = std::make_shared<ClientConn>();
+    conn->channel = std::move(ch);
+    clients_.push_back(conn);
+    stats_.incr("clients_accepted");
+    conn->channel->set_on_message([this, conn](std::string payload) {
+        if (crashed_) return;
+        on_client_data(conn, std::move(payload));
+    });
+}
+
+void KvServer::on_node_accept(net::ChannelPtr ch) {
+    auto conn = std::make_shared<ClientConn>();
+    conn->channel = std::move(ch);
+    conn->node_link = true;
+    clients_.push_back(conn);
+    stats_.incr("node_links_accepted");
+    conn->channel->set_on_message([this, conn](std::string payload) {
+        if (crashed_) return;
+        const auto msg = NodeMsg::decode(payload);
+        if (!msg.has_value()) {
+            stats_.incr("node_msgs_malformed");
+            return;
+        }
+        handle_node_msg(conn, *msg);
+    });
+}
+
+// --- client command path ----------------------------------------------------
+
+void KvServer::on_client_data(const ClientPtr& conn, std::string payload) {
+    conn->parser.feed(payload);
+    std::vector<std::string> argv;
+    std::string err;
+    for (;;) {
+        const auto st = conn->parser.next(&argv, &err);
+        if (st == kv::resp::Status::kNeedMore) break;
+        if (st == kv::resp::Status::kError) {
+            conn->channel->send(kv::resp::error("ERR " + err));
+            conn->channel->close();
+            stats_.incr("protocol_errors");
+            return;
+        }
+        run_command(conn, std::move(argv));
+        argv.clear();
+    }
+}
+
+sim::Duration KvServer::command_cost(const std::vector<std::string>& argv,
+                                     const kv::CommandSpec* spec) const {
+    sim::Duration cost = costs_.event_dispatch + costs_.cmd_parse;
+    if (spec != nullptr) {
+        cost += spec->is_write() ? costs_.cmd_exec_write : costs_.cmd_exec_read;
+    }
+    cost += costs_.reply_build;
+    std::size_t bytes = 0;
+    for (const auto& a : argv) bytes += a.size();
+    cost += costs_.copy_cost(bytes);
+    return cost;
+}
+
+bool KvServer::write_allowed(std::string* err) const {
+    if (role_ == Role::kSlave) {
+        *err = "READONLY You can't write against a read only replica.";
+        return false;
+    }
+    if (role_ == Role::kMaster && available_slaves_ < cfg_.min_slaves) {
+        *err = "NOREPLICAS Not enough good replicas to write.";
+        return false;
+    }
+    if (role_ == Role::kMaster && cfg_.max_repl_lag_bytes > 0) {
+        // Paper Fig. 9 step 3: a slave whose reported progress is too far
+        // behind makes the master return an error to the client.
+        for (const auto& s : slaves_) {
+            if (!s.valid) continue;
+            if (backlog_.master_offset() - s.ack_offset > cfg_.max_repl_lag_bytes) {
+                *err = "NOREPLPROGRESS Replication to '" + s.name +
+                       "' is lagging too far behind.";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv) {
+    if (argv.empty()) return;
+    // INFO is served by the server, not the engine: it reports replication
+    // and server state the command table cannot see.
+    if (kv::Sds(argv[0]).iequals("INFO")) {
+        self_.core->submit(costs_.jittered(rng_, command_cost(argv, nullptr)),
+                           [this, conn]() {
+                               ++commands_;
+                               stats_.incr("reads");
+                               conn->channel->send(kv::resp::bulk(info_sections()));
+                           });
+        return;
+    }
+    const kv::CommandSpec* spec = commands_table_.lookup(argv[0]);
+    const sim::Duration cost = costs_.jittered(rng_, command_cost(argv, spec));
+    self_.core->submit(cost, [this, conn, argv = std::move(argv), spec]() {
+        ++commands_;
+        std::string reply;
+        if (spec != nullptr && spec->is_write()) {
+            std::string err;
+            if (!write_allowed(&err)) {
+                stats_.incr("writes_rejected");
+                conn->channel->send(kv::resp::error(err));
+                return;
+            }
+        }
+        const kv::ExecResult res =
+            commands_table_.execute(db_, rng_, argv, reply);
+        if (!res.repl_argv.empty() && role_ != Role::kSlave) {
+            propagate(res.repl_argv);
+        }
+        stats_.incr(res.is_write ? "writes" : "reads");
+        conn->channel->send(std::move(reply));
+    });
+}
+
+// --- replication: master side ---------------------------------------------------
+
+void KvServer::propagate(const std::vector<std::string>& repl_argv) {
+    const std::string bytes = kv::resp::command(repl_argv);
+    const std::int64_t start = backlog_.master_offset();
+    backlog_.append(bytes);
+
+    if (cfg_.offload_replication) {
+        if (!nic_attached_ || !nic_link_) return;
+        // SKV: one replication request to the SmartNIC, regardless of the
+        // number of slaves — the per-write saving the paper measures.
+        self_.core->consume(costs_.jittered(rng_, costs_.offload_request_build));
+        nic_link_->send(NodeMsg{NodeMsg::Type::kReplData, start, bytes}.encode());
+        stats_.incr("repl_offload_requests");
+        return;
+    }
+    // Baseline: feed every slave's buffer and post one WR each, one by one,
+    // before the client reply goes out.
+    for (auto& s : slaves_) {
+        if (!s.valid || !s.channel || !s.channel->open()) continue;
+        sim::Duration feed = costs_.jittered(rng_, costs_.repl_feed_slave) +
+                             costs_.copy_cost(bytes.size());
+        if (rng_.next_bool(costs_.repl_feed_stall_prob)) {
+            feed += costs_.repl_feed_stall;
+        }
+        self_.core->consume(feed);
+        s.channel->send(NodeMsg{NodeMsg::Type::kReplData, start, bytes}.encode());
+        stats_.incr("repl_sends");
+    }
+}
+
+void KvServer::serve_initial_sync(const std::string& slave_name,
+                                  std::int64_t slave_offset,
+                                  net::ChannelPtr direct) {
+    // Register (or refresh) the slave link.
+    auto it = std::find_if(slaves_.begin(), slaves_.end(),
+                           [&](const SlaveLink& s) { return s.name == slave_name; });
+    if (it == slaves_.end()) {
+        slaves_.push_back(SlaveLink{slave_name, direct, slave_offset, true});
+    } else {
+        it->channel = direct;
+        it->ack_offset = slave_offset;
+        it->valid = true;
+    }
+    if (!cfg_.offload_replication) {
+        available_slaves_ = static_cast<int>(slaves_.size());
+    }
+    role_ = Role::kMaster;
+
+    // Decide between a partial resync from the backlog and a full snapshot.
+    if (slave_offset == backlog_.master_offset()) {
+        // Already byte-for-byte in sync: an empty backlog range doubles as
+        // the greeting that tells the slave which channel its master is on.
+        direct->send(
+            NodeMsg{NodeMsg::Type::kBacklog, slave_offset, ""}.encode());
+        stats_.incr("sync_noop");
+        return;
+    }
+    if (backlog_.can_serve(slave_offset)) {
+        const std::string range = backlog_.read_from(slave_offset);
+        self_.core->consume(costs_.copy_cost(range.size()));
+        direct->send(
+            NodeMsg{NodeMsg::Type::kBacklog, slave_offset, range}.encode());
+        stats_.incr("sync_partial");
+        return;
+    }
+    // Full synchronization: persist everything and ship the RDB file.
+    const std::string rdb = kv::rdb::save(db_);
+    // Snapshot cost: copy-on-write fork plus serialization.
+    self_.core->consume(sim::microseconds(400) + costs_.copy_cost(2 * rdb.size()));
+    direct->send(
+        NodeMsg{NodeMsg::Type::kFullSync, backlog_.master_offset(), rdb}.encode());
+    stats_.incr("sync_full");
+}
+
+void KvServer::connect_and_sync_slave(std::string slave_name,
+                                      std::int64_t offset) {
+    // SKV master, paper Fig. 8 step 3: establish a direct RDMA connection
+    // to the slave and serve the initial synchronization over it.
+    auto connect_cb = [this, slave_name, offset](net::ChannelPtr ch) {
+        if (!ch) return;
+        auto conn = std::make_shared<ClientConn>();
+        conn->channel = ch;
+        conn->node_link = true;
+        clients_.push_back(conn);
+        ch->set_on_message([this, conn](std::string payload) {
+            if (crashed_) return;
+            const auto msg = NodeMsg::decode(payload);
+            if (msg.has_value()) handle_node_msg(conn, *msg);
+        });
+        serve_initial_sync(slave_name, offset, std::move(ch));
+    };
+    // Slave node ports follow the same convention: cfg_.port + 1. The
+    // slave's endpoint is carried in the notify body as "<name>@<ep>".
+    const auto at = slave_name.find('@');
+    assert(at != std::string::npos);
+    const auto ep = static_cast<net::EndpointId>(
+        std::stoul(slave_name.substr(at + 1)));
+    if (cfg_.transport == Transport::kTcp) {
+        nets_.tcp->connect(self_, ep, static_cast<std::uint16_t>(cfg_.port + 1),
+                           connect_cb);
+    } else {
+        nets_.cm->connect(self_, ep, static_cast<std::uint16_t>(cfg_.port + 1),
+                          connect_cb);
+    }
+}
+
+void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
+    switch (msg.type) {
+        case NodeMsg::Type::kSync: {
+            // Baseline: a slave registered over its own channel; serve the
+            // initial sync on that same channel.
+            self_.core->consume(costs_.event_dispatch);
+            serve_initial_sync(msg.body, msg.field, conn->channel);
+            break;
+        }
+        case NodeMsg::Type::kSyncNotify: {
+            // SKV: Nic-KV tells the master a slave wants to synchronize.
+            self_.core->consume(costs_.event_dispatch);
+            connect_and_sync_slave(msg.body, msg.field);
+            break;
+        }
+        case NodeMsg::Type::kResyncRequest: {
+            // SKV: a recovered slave is behind; serve it the backlog range
+            // over the existing direct channel.
+            auto it = std::find_if(
+                slaves_.begin(), slaves_.end(),
+                [&](const SlaveLink& s) { return s.name == msg.body; });
+            if (it == slaves_.end()) break;
+            if (backlog_.can_serve(msg.field)) {
+                const std::string range = backlog_.read_from(msg.field);
+                self_.core->consume(costs_.copy_cost(range.size()));
+                it->channel->send(
+                    NodeMsg{NodeMsg::Type::kBacklog, msg.field, range}.encode());
+                stats_.incr("sync_partial");
+            } else {
+                const std::string rdb = kv::rdb::save(db_);
+                self_.core->consume(sim::microseconds(400) +
+                                    costs_.copy_cost(2 * rdb.size()));
+                it->channel->send(NodeMsg{NodeMsg::Type::kFullSync,
+                                          backlog_.master_offset(), rdb}
+                                      .encode());
+                stats_.incr("sync_full");
+            }
+            break;
+        }
+        case NodeMsg::Type::kAck: {
+            auto it = std::find_if(slaves_.begin(), slaves_.end(),
+                                   [&](const SlaveLink& s) {
+                                       return s.channel == conn->channel;
+                                   });
+            if (it != slaves_.end()) {
+                it->ack_offset = std::max(it->ack_offset, msg.field);
+            }
+            break;
+        }
+        case NodeMsg::Type::kSlaveCount: {
+            available_slaves_ = static_cast<int>(msg.field);
+            // Mark named slaves invalid so lag checks skip them.
+            for (auto& s : slaves_) {
+                s.valid = msg.body.find(s.name) == std::string::npos;
+            }
+            stats_.incr("fd_updates");
+            break;
+        }
+        case NodeMsg::Type::kReplData: {
+            // Slave: a chunk of the replication stream.
+            apply_repl_stream(msg.field, msg.body);
+            break;
+        }
+        case NodeMsg::Type::kBacklog: {
+            // The sender of sync data is our master: progress reports go
+            // back on this channel (baseline: the SYNC channel; SKV: the
+            // direct channel the master dialed in Fig. 8 step 3).
+            if (role_ == Role::kSlave) master_link_ = conn->channel;
+            apply_repl_stream(msg.field, msg.body);
+            stats_.incr("resyncs_applied");
+            break;
+        }
+        case NodeMsg::Type::kFullSync: {
+            if (role_ == Role::kSlave) master_link_ = conn->channel;
+            load_snapshot(msg.field, msg.body);
+            break;
+        }
+        case NodeMsg::Type::kProbe: {
+            // Reply immediately (paper §III-D).
+            stats_.incr("probes_answered");
+            self_.core->consume(costs_.event_dispatch);
+            const std::string body =
+                std::string(to_string(role_)) + ":" + kv::ll2string(applied_offset_);
+            conn->channel->send(
+                NodeMsg{NodeMsg::Type::kProbeAck, msg.field, body}.encode());
+            break;
+        }
+        case NodeMsg::Type::kPromote: {
+            if (role_ == Role::kSlave) {
+                role_ = Role::kMaster;
+                stats_.incr("promotions");
+            }
+            break;
+        }
+        case NodeMsg::Type::kDemote: {
+            if (role_ == Role::kMaster) {
+                role_ = Role::kSlave;
+                stats_.incr("demotions");
+            }
+            break;
+        }
+        case NodeMsg::Type::kInitSync:
+        case NodeMsg::Type::kProbeAck:
+            // Nic-KV traffic; a Host-KV server never receives these.
+            stats_.incr("node_msgs_unexpected");
+            break;
+    }
+}
+
+// --- replication: slave side ----------------------------------------------------
+
+void KvServer::apply_repl_stream(std::int64_t start_offset,
+                                 const std::string& bytes) {
+    if (start_offset > applied_offset_) {
+        // Ahead of us: either data was lost while this node was down, or a
+        // resync snapshot is still in flight while fan-out continues. Hold
+        // the frame; the snapshot/backlog will catch applied_offset_ up,
+        // after which these frames drain in order.
+        stats_.incr("repl_gap_frames");
+        if (pending_stream_bytes_ + bytes.size() <= kPendingStreamCap) {
+            pending_stream_bytes_ += bytes.size();
+            pending_stream_.emplace_back(start_offset, bytes);
+        } else {
+            stats_.incr("repl_gap_dropped");
+        }
+        return;
+    }
+    apply_contiguous(start_offset, bytes);
+    drain_pending_stream();
+}
+
+void KvServer::drain_pending_stream() {
+    while (!pending_stream_.empty() &&
+           pending_stream_.front().first <= applied_offset_) {
+        auto [off, data] = std::move(pending_stream_.front());
+        pending_stream_.pop_front();
+        pending_stream_bytes_ -= data.size();
+        apply_contiguous(off, data);
+    }
+}
+
+void KvServer::apply_contiguous(std::int64_t start_offset,
+                                std::string_view view) {
+    assert(start_offset <= applied_offset_);
+    if (start_offset < applied_offset_) {
+        const auto skip = static_cast<std::size_t>(applied_offset_ - start_offset);
+        if (skip >= view.size()) return; // fully stale frame
+        view.remove_prefix(skip);
+    }
+    repl_parser_.feed(view);
+    applied_offset_ += static_cast<std::int64_t>(view.size());
+
+    std::vector<std::string> argv;
+    std::string err;
+    for (;;) {
+        const auto st = repl_parser_.next(&argv, &err);
+        if (st == kv::resp::Status::kNeedMore) break;
+        if (st == kv::resp::Status::kError) {
+            stats_.incr("repl_protocol_errors");
+            repl_parser_.reset();
+            return;
+        }
+        apply_one(std::move(argv));
+        argv.clear();
+    }
+}
+
+void KvServer::apply_one(std::vector<std::string> argv) {
+    self_.core->submit(costs_.jittered(rng_, costs_.slave_apply),
+                       [this, argv = std::move(argv)]() {
+                           std::string reply;
+                           commands_table_.execute(db_, rng_, argv, reply);
+                           stats_.incr("repl_applied");
+                       });
+}
+
+void KvServer::load_snapshot(std::int64_t offset, const std::string& rdb_bytes) {
+    const auto st = kv::rdb::load(rdb_bytes, db_);
+    if (st != kv::rdb::LoadStatus::kOk) {
+        stats_.incr("rdb_load_failures");
+        return;
+    }
+    self_.core->consume(costs_.copy_cost(2 * rdb_bytes.size()));
+    applied_offset_ = offset;
+    repl_parser_.reset();
+    stats_.incr("rdb_loaded");
+    drain_pending_stream();
+}
+
+void KvServer::send_ack() {
+    if (role_ != Role::kSlave || !master_link_ || !master_link_->open()) return;
+    self_.core->consume(costs_.event_dispatch);
+    master_link_->send(
+        NodeMsg{NodeMsg::Type::kAck, applied_offset_, cfg_.name}.encode());
+}
+
+// --- role wiring -------------------------------------------------------------------
+
+void KvServer::slaveof_baseline(net::EndpointId master_ep,
+                                std::uint16_t node_port) {
+    role_ = Role::kSlave;
+    auto cb = [this](net::ChannelPtr ch) {
+        if (!ch) return;
+        master_link_ = ch;
+        auto conn = std::make_shared<ClientConn>();
+        conn->channel = ch;
+        conn->node_link = true;
+        clients_.push_back(conn);
+        ch->set_on_message([this, conn](std::string payload) {
+            if (crashed_) return;
+            const auto msg = NodeMsg::decode(payload);
+            if (msg.has_value()) handle_node_msg(conn, *msg);
+        });
+        ch->send(NodeMsg{NodeMsg::Type::kSync, applied_offset_, cfg_.name}.encode());
+    };
+    if (cfg_.transport == Transport::kTcp) {
+        nets_.tcp->connect(self_, master_ep, node_port, cb);
+    } else {
+        nets_.cm->connect(self_, master_ep, node_port, cb);
+    }
+}
+
+void KvServer::slaveof_skv(net::EndpointId nic_ep, std::uint16_t nic_port) {
+    role_ = Role::kSlave;
+    skv_nic_ep_ = nic_ep;
+    skv_nic_port_ = nic_port;
+    // Paper Fig. 8 step 1: the request carries the slave's replication ID,
+    // offset, and identity. The "<name>@<endpoint>" body lets the master
+    // dial back for step 3.
+    auto cb = [this](net::ChannelPtr ch) {
+        if (!ch) return;
+        nic_registration_ = ch;
+        auto conn = std::make_shared<ClientConn>();
+        conn->channel = ch;
+        conn->node_link = true;
+        clients_.push_back(conn);
+        ch->set_on_message([this, conn](std::string payload) {
+            if (crashed_) return;
+            const auto msg = NodeMsg::decode(payload);
+            if (msg.has_value()) handle_node_msg(conn, *msg);
+        });
+        const std::string ident = cfg_.name + "@" + std::to_string(self_.ep);
+        ch->send(NodeMsg{NodeMsg::Type::kInitSync, applied_offset_, ident}.encode());
+    };
+    assert(cfg_.transport == Transport::kRdma &&
+           "SKV mode requires the RDMA transport");
+    nets_.cm->connect(self_, nic_ep, nic_port, cb);
+}
+
+void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
+    role_ = Role::kMaster;
+    skv_nic_ep_ = nic_ep;
+    skv_nic_port_ = nic_port;
+    assert(cfg_.offload_replication);
+    auto cb = [this](net::ChannelPtr ch) {
+        if (!ch) return;
+        nic_link_ = ch;
+        nic_attached_ = true;
+        auto conn = std::make_shared<ClientConn>();
+        conn->channel = ch;
+        conn->node_link = true;
+        clients_.push_back(conn);
+        ch->set_on_message([this, conn](std::string payload) {
+            if (crashed_) return;
+            const auto msg = NodeMsg::decode(payload);
+            if (msg.has_value()) handle_node_msg(conn, *msg);
+        });
+        // Identify ourselves to the NIC as the master.
+        const std::string ident = cfg_.name + "@" + std::to_string(self_.ep);
+        ch->send(NodeMsg{NodeMsg::Type::kSync, backlog_.master_offset(),
+                         "master:" + ident}
+                     .encode());
+    };
+    assert(cfg_.transport == Transport::kRdma &&
+           "SKV mode requires the RDMA transport");
+    nets_.cm->connect(self_, nic_ep, nic_port, cb);
+}
+
+// --- slave link for acks (SKV slaves ack over the master's direct channel) -----
+
+void KvServer::cron() {
+    if (!crashed_) {
+        // Active expiry + incremental rehash make progress even when idle.
+        const std::size_t removed =
+            db_.active_expire_cycle(rng_, cfg_.expire_samples);
+        if (removed > 0) {
+            self_.core->consume(costs_.cmd_exec_write * static_cast<std::int64_t>(removed));
+            stats_.incr("expired_keys", removed);
+        }
+        db_.keys().rehash_step(4);
+
+        ++cron_ticks_;
+        const std::int64_t acks_every =
+            std::max<std::int64_t>(1, cfg_.ack_interval.ns() / cfg_.cron_interval.ns());
+        if (cron_ticks_ % acks_every == 0) send_ack();
+    }
+    sim_.after(cfg_.cron_interval, [this]() { cron(); });
+}
+
+// --- fault injection ------------------------------------------------------------------
+
+void KvServer::crash() {
+    assert(!crashed_);
+    crashed_ = true;
+    self_.core->halt();
+    nets_.fabric->sever(self_.ep);
+    stats_.incr("crashes");
+}
+
+void KvServer::recover() {
+    assert(crashed_);
+    crashed_ = false;
+    self_.core->resume();
+    nets_.fabric->restore(self_.ep);
+    stats_.incr("recoveries");
+    // Reconnect: channels died with the process (ring cursors on the other
+    // side advanced past writes this host never saw, so the old channels
+    // are unusable). An SKV slave re-registers with Nic-KV, which notices
+    // its stale offset and arranges a resync; an SKV master re-attaches,
+    // which tells the failure detector it is back.
+    if (skv_nic_ep_ == net::kInvalidEndpoint) return;
+    if (role_ == Role::kSlave) {
+        slaveof_skv(skv_nic_ep_, skv_nic_port_);
+    } else if (cfg_.offload_replication) {
+        attach_nic(skv_nic_ep_, skv_nic_port_);
+    }
+}
+
+std::string KvServer::info_sections() const {
+    std::string out;
+    out += "# Server\r\n";
+    out += "server_name:" + cfg_.name + "\r\n";
+    out += "transport:" + std::string(to_string(cfg_.transport)) + "\r\n";
+    out += "uptime_in_seconds:" + kv::ll2string(sim_.now().ns() / 1'000'000'000) + "\r\n";
+    out += "# Clients\r\n";
+    out += "connected_clients:" + kv::ll2string(static_cast<long long>(clients_.size())) + "\r\n";
+    out += "# Memory\r\n";
+    out += "used_memory:" + kv::ll2string(static_cast<long long>(db_.memory_bytes())) + "\r\n";
+    out += "# Replication\r\n";
+    out += "role:" + std::string(to_string(role_)) + "\r\n";
+    out += "offload_replication:" +
+           std::string(cfg_.offload_replication ? "yes" : "no") + "\r\n";
+    out += "connected_slaves:" + kv::ll2string(static_cast<long long>(slaves_.size())) + "\r\n";
+    out += "available_slaves:" + kv::ll2string(available_slaves_) + "\r\n";
+    out += "master_repl_offset:" + kv::ll2string(backlog_.master_offset()) + "\r\n";
+    out += "slave_repl_offset:" + kv::ll2string(applied_offset_) + "\r\n";
+    out += "repl_backlog_size:" + kv::ll2string(static_cast<long long>(backlog_.capacity())) + "\r\n";
+    out += "# Keyspace\r\n";
+    out += "db0:keys=" + kv::ll2string(static_cast<long long>(db_.size())) +
+           ",expires=" + kv::ll2string(static_cast<long long>(db_.expires_size())) + "\r\n";
+    out += "# Stats\r\n";
+    out += "total_commands_processed:" + kv::ll2string(static_cast<long long>(commands_)) + "\r\n";
+    return out;
+}
+
+std::string KvServer::info() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s role=%s transport=%s keys=%zu offset=%lld applied=%lld "
+                  "slaves=%zu cmds=%llu",
+                  cfg_.name.c_str(), to_string(role_), to_string(cfg_.transport),
+                  db_.size(), static_cast<long long>(backlog_.master_offset()),
+                  static_cast<long long>(applied_offset_), slaves_.size(),
+                  static_cast<unsigned long long>(commands_));
+    return buf;
+}
+
+} // namespace skv::server

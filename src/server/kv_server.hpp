@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/cost_model.hpp"
+#include "kv/backlog.hpp"
+#include "kv/command.hpp"
+#include "kv/db.hpp"
+#include "kv/resp.hpp"
+#include "net/channel.hpp"
+#include "net/tcp.hpp"
+#include "rdma/cm.hpp"
+#include "server/config.hpp"
+#include "server/protocol.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace skv::server {
+
+/// A Host-KV instance: the single-threaded, event-driven Redis-style
+/// server. One per simulated host. Depending on configuration it acts as:
+///
+///  * a standalone server (Fig. 10 experiments),
+///  * a baseline master that replicates to each slave itself — one buffer
+///    feed and one work request per slave per write (RDMA-Redis / Fig. 7),
+///  * an SKV master that posts a single replication request to Nic-KV per
+///    write (Fig. 11/12/14),
+///  * a slave applying the replication stream and reporting progress.
+///
+/// Two listening ports: `cfg.port` speaks RESP to clients; `cfg.port + 1`
+/// speaks NodeMsg to peers (slaves, masters, Nic-KV).
+class KvServer {
+public:
+    struct Transports {
+        net::Fabric* fabric = nullptr;
+        net::TcpNetwork* tcp = nullptr;
+        rdma::ConnectionManager* cm = nullptr;
+    };
+
+    KvServer(sim::Simulation& sim, const cpu::CostModel& costs,
+             Transports nets, net::NodeRef self, ServerConfig cfg);
+
+    /// Begin listening on the client and node ports and start serverCron.
+    void start();
+
+    // --- role wiring -------------------------------------------------------
+    /// Baseline replication: connect to the master's node port and SYNC.
+    void slaveof_baseline(net::EndpointId master_ep, std::uint16_t node_port);
+    /// SKV replication: register with Nic-KV on the master's SmartNIC
+    /// (paper Fig. 8 step 1). The NIC coordinates the rest.
+    void slaveof_skv(net::EndpointId nic_ep, std::uint16_t nic_port);
+    /// SKV master: open the replication-request channel to the local
+    /// Nic-KV. Must be called before writes arrive.
+    void attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port);
+
+    // --- fault injection ------------------------------------------------------
+    /// Crash the host process: the core halts and the endpoint is severed.
+    void crash();
+    /// Restart after a crash. Data survives (it is "in memory" of the
+    /// simulated process object), but the replication stream has moved on;
+    /// the node resynchronizes via the NIC-driven partial resync.
+    void recover();
+    [[nodiscard]] bool crashed() const { return crashed_; }
+
+    // --- introspection -----------------------------------------------------------
+    [[nodiscard]] kv::Database& db() { return db_; }
+    [[nodiscard]] const kv::Database& db() const { return db_; }
+    [[nodiscard]] Role role() const { return role_; }
+    [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+    [[nodiscard]] net::NodeRef node() const { return self_; }
+    [[nodiscard]] std::int64_t master_offset() const {
+        return backlog_.master_offset();
+    }
+    [[nodiscard]] std::int64_t slave_applied_offset() const { return applied_offset_; }
+    [[nodiscard]] std::size_t slave_count() const { return slaves_.size(); }
+    [[nodiscard]] int available_slaves() const { return available_slaves_; }
+    [[nodiscard]] sim::StatsRegistry& stats() { return stats_; }
+    [[nodiscard]] std::uint64_t commands_processed() const { return commands_; }
+    /// The SKV master's replication-request channel (introspection).
+    [[nodiscard]] const net::ChannelPtr& nic_link() const { return nic_link_; }
+
+    /// INFO-style one-line status (examples print this).
+    [[nodiscard]] std::string info() const;
+    /// The INFO command's sectioned body (Server/Clients/Replication/...).
+    [[nodiscard]] std::string info_sections() const;
+
+private:
+    struct ClientConn {
+        net::ChannelPtr channel;
+        kv::resp::RequestParser parser;
+        bool node_link = false;
+    };
+    using ClientPtr = std::shared_ptr<ClientConn>;
+
+    struct SlaveLink {
+        std::string name;
+        net::ChannelPtr channel;
+        std::int64_t ack_offset = 0;
+        bool valid = true;
+    };
+
+    // -- listening / connections
+    void listen_all();
+    void on_client_accept(net::ChannelPtr ch);
+    void on_node_accept(net::ChannelPtr ch);
+
+    // -- client command path
+    void on_client_data(const ClientPtr& conn, std::string payload);
+    void run_command(const ClientPtr& conn, std::vector<std::string> argv);
+    [[nodiscard]] sim::Duration command_cost(
+        const std::vector<std::string>& argv, const kv::CommandSpec* spec) const;
+    [[nodiscard]] bool write_allowed(std::string* err) const;
+
+    // -- replication (master side)
+    void propagate(const std::vector<std::string>& repl_argv);
+    void handle_node_msg(const ClientPtr& conn, const NodeMsg& msg);
+    void serve_initial_sync(const std::string& slave_name,
+                            std::int64_t slave_offset, net::ChannelPtr direct);
+    void connect_and_sync_slave(std::string slave_name, std::int64_t offset);
+
+    // -- replication (slave side)
+    void apply_repl_stream(std::int64_t start_offset, const std::string& bytes);
+    void apply_contiguous(std::int64_t start_offset, std::string_view bytes);
+    void drain_pending_stream();
+    void apply_one(std::vector<std::string> argv);
+    void load_snapshot(std::int64_t offset, const std::string& rdb_bytes);
+    void send_ack();
+
+    // -- cron
+    void cron();
+
+    sim::Simulation& sim_;
+    const cpu::CostModel& costs_;
+    Transports nets_;
+    net::NodeRef self_;
+    ServerConfig cfg_;
+    sim::Rng rng_;
+
+    kv::Database db_;
+    kv::ReplBacklog backlog_;
+    const kv::CommandTable& commands_table_;
+
+    Role role_ = Role::kStandalone;
+    bool started_ = false;
+    bool crashed_ = false;
+
+    std::vector<ClientPtr> clients_;
+
+    // master state
+    std::vector<SlaveLink> slaves_;      // baseline fan-out targets
+    net::ChannelPtr nic_link_;           // SKV: replication requests to Nic-KV
+    int available_slaves_ = 0;           // as reported by the failure detector
+    bool nic_attached_ = false;
+
+    // slave state
+    net::ChannelPtr master_link_;        // baseline: channel to master;
+                                         // SKV: direct channel from master
+    net::ChannelPtr nic_registration_;   // SKV slave: channel to Nic-KV
+    net::EndpointId skv_nic_ep_ = net::kInvalidEndpoint; // for re-registration
+    std::uint16_t skv_nic_port_ = 0;
+    std::int64_t applied_offset_ = 0;
+    kv::resp::RequestParser repl_parser_;
+    /// Stream frames that arrived ahead of applied_offset_ (e.g. fan-out
+    /// racing an in-flight snapshot during resync), drained once the
+    /// snapshot lands. Bounded; overflow forces another resync.
+    std::deque<std::pair<std::int64_t, std::string>> pending_stream_;
+    std::size_t pending_stream_bytes_ = 0;
+    static constexpr std::size_t kPendingStreamCap = 64 * 1024 * 1024;
+
+    std::uint64_t commands_ = 0;
+    std::int64_t cron_ticks_ = 0;
+    sim::StatsRegistry stats_;
+};
+
+} // namespace skv::server

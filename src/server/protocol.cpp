@@ -1,0 +1,49 @@
+#include "server/protocol.hpp"
+
+namespace skv::server {
+
+std::string NodeMsg::encode() const {
+    std::string out;
+    out.reserve(9 + body.size());
+    out.push_back(static_cast<char>(type));
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<char>(static_cast<std::uint64_t>(field) >> (i * 8)));
+    }
+    out += body;
+    return out;
+}
+
+std::optional<NodeMsg> NodeMsg::decode(std::string_view wire) {
+    if (wire.size() < 9) return std::nullopt;
+    NodeMsg m;
+    m.type = static_cast<Type>(wire[0]);
+    switch (m.type) {
+        case Type::kInitSync:
+        case Type::kSyncNotify:
+        case Type::kFullSync:
+        case Type::kBacklog:
+        case Type::kReplData:
+        case Type::kAck:
+        case Type::kProbe:
+        case Type::kProbeAck:
+        case Type::kResyncRequest:
+        case Type::kPromote:
+        case Type::kDemote:
+        case Type::kSync:
+        case Type::kSlaveCount:
+            break;
+        default:
+            return std::nullopt;
+    }
+    std::uint64_t f = 0;
+    for (int i = 0; i < 8; ++i) {
+        f |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                 wire[1 + static_cast<std::size_t>(i)]))
+             << (i * 8);
+    }
+    m.field = static_cast<std::int64_t>(f);
+    m.body = std::string(wire.substr(9));
+    return m;
+}
+
+} // namespace skv::server

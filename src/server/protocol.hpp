@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace skv::server {
+
+/// Framing for server-to-server and server-to-NIC messages (replication,
+/// synchronization, probes). Client traffic speaks RESP; the internal
+/// control plane uses this compact tagged framing, which is what Nic-KV
+/// parses on the SmartNIC ("binary framing, not RESP" — see
+/// CostModel::nic_repl_parse).
+///
+/// Wire form: 1 tag byte + 8-byte little-endian i64 field + body bytes.
+struct NodeMsg {
+    enum class Type : char {
+        // Slave -> Nic-KV: initial synchronization request. field = the
+        // slave's replication offset; body = "<name>" of the slave.
+        kInitSync = 'I',
+        // Nic-KV -> master: a slave wants to synchronize. field = slave
+        // offset; body = slave name.
+        kSyncNotify = 'N',
+        // Master -> slave (direct): full snapshot. field = master offset at
+        // snapshot time; body = RDB bytes.
+        kFullSync = 'F',
+        // Master -> slave (direct): backlog range. field = start offset;
+        // body = raw replication stream bytes.
+        kBacklog = 'B',
+        // Master -> Nic-KV (SKV) or master -> slave (baseline): replication
+        // stream data. field = stream offset of the first byte; body = one
+        // or more RESP-encoded write commands.
+        kReplData = 'R',
+        // Slave -> master: progress report. field = slave offset.
+        kAck = 'K',
+        // Nic-KV -> any node: liveness probe. field = probe sequence.
+        kProbe = 'P',
+        // Node -> Nic-KV: probe reply. field = probe sequence; body =
+        // "<role>:<offset>".
+        kProbeAck = 'A',
+        // Nic-KV -> master: slave recovered behind the stream, serve it a
+        // partial resync. field = slave offset; body = slave name.
+        kResyncRequest = 'S',
+        // Nic-KV -> slave: assume mastership / step back down.
+        kPromote = 'U',
+        kDemote = 'D',
+        // Baseline protocol: slave -> master over its own channel.
+        // field = slave offset; body = slave name.
+        kSync = 'Y',
+        // Nic-KV -> master: failure-detector status. field = number of
+        // available slaves; body = comma-separated invalid slave names.
+        kSlaveCount = 'C',
+    };
+
+    Type type;
+    std::int64_t field = 0;
+    std::string body;
+
+    [[nodiscard]] std::string encode() const;
+    static std::optional<NodeMsg> decode(std::string_view wire);
+};
+
+} // namespace skv::server

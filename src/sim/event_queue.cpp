@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace skv::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback fn) {
+    assert(fn && "scheduling an empty callback");
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{at, seq, std::move(fn)});
+    live_.insert(seq);
+    return EventId(seq);
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (!id.valid()) return false;
+    return live_.erase(id.seq_) > 0;
+}
+
+void EventQueue::skim() {
+    while (!heap_.empty() && !live_.contains(heap_.top().seq)) {
+        heap_.pop();
+    }
+}
+
+SimTime EventQueue::next_time() {
+    skim();
+    if (heap_.empty()) return SimTime::max();
+    return heap_.top().at;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+    skim();
+    assert(!heap_.empty() && "pop() on an empty event queue");
+    // priority_queue::top() is const; the callback must be moved out, so
+    // const_cast the entry. The entry is popped immediately afterwards, so
+    // heap ordering (which ignores `fn`) is never observed in a moved-from
+    // state.
+    auto& top = const_cast<Entry&>(heap_.top());
+    std::pair<SimTime, Callback> out{top.at, std::move(top.fn)};
+    live_.erase(top.seq);
+    heap_.pop();
+    return out;
+}
+
+} // namespace skv::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace skv::sim {
+
+/// Opaque handle to a scheduled event, used for cancellation.
+class EventId {
+public:
+    constexpr EventId() = default;
+
+    [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+    constexpr bool operator==(const EventId&) const = default;
+
+private:
+    friend class EventQueue;
+    constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+    std::uint64_t seq_ = 0;
+};
+
+/// Priority queue of timestamped callbacks. Ties in time are broken by
+/// insertion order (FIFO), which together with the seeded RNG makes the
+/// whole simulation deterministic.
+///
+/// Cancellation is lazy: a cancelled event stays in the heap and is skipped
+/// when it reaches the top. That keeps push/pop at O(log n) with no
+/// secondary heap index.
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    /// Schedule `fn` at absolute time `at`. Events scheduled for the same
+    /// time fire in the order they were scheduled.
+    EventId schedule(SimTime at, Callback fn);
+
+    /// Cancel a previously scheduled event. Returns false (and does nothing)
+    /// if the event already fired or was already cancelled.
+    bool cancel(EventId id);
+
+    [[nodiscard]] bool empty() const { return live_.empty(); }
+    [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+    /// Time of the earliest live event; SimTime::max() when empty.
+    [[nodiscard]] SimTime next_time();
+
+    /// Pop and return the earliest live event. Must not be called when
+    /// empty(). Returns {time, callback}.
+    std::pair<SimTime, Callback> pop();
+
+private:
+    struct Entry {
+        SimTime at;
+        std::uint64_t seq = 0;
+        Callback fn;
+
+        bool operator>(const Entry& o) const {
+            if (at != o.at) return at > o.at;
+            return seq > o.seq;
+        }
+    };
+
+    /// Remove cancelled entries sitting at the top of the heap.
+    void skim();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t next_seq_ = 1;
+    std::unordered_set<std::uint64_t> live_;
+};
+
+} // namespace skv::sim

@@ -1,0 +1,99 @@
+#include "sim/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <limits>
+
+namespace skv::sim {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<std::size_t>(kMajors) * kSub, 0),
+      min_(std::numeric_limits<std::int64_t>::max()),
+      max_(std::numeric_limits<std::int64_t>::min()) {}
+
+std::size_t LatencyHistogram::bucket_of(std::int64_t ns) {
+    if (ns < 0) ns = 0;
+    const auto v = static_cast<std::uint64_t>(ns);
+    if (v < kSub) return static_cast<std::size_t>(v); // first major is linear
+    const int msb = 63 - std::countl_zero(v);
+    const int major = msb - kSubBits + 1;
+    const auto sub = static_cast<std::size_t>((v >> (msb - kSubBits)) & (kSub - 1));
+    return static_cast<std::size_t>(major) * kSub + sub;
+}
+
+std::int64_t LatencyHistogram::bucket_upper(std::size_t idx) {
+    const std::size_t major = idx / kSub;
+    const std::size_t sub = idx % kSub;
+    if (major == 0) return static_cast<std::int64_t>(sub);
+    const int shift = static_cast<int>(major) - 1;
+    const std::uint64_t base = static_cast<std::uint64_t>(kSub) << shift;
+    const std::uint64_t width = 1ULL << shift;
+    return static_cast<std::int64_t>(base + (sub + 1) * width - 1);
+}
+
+void LatencyHistogram::record_ns(std::int64_t ns) {
+    if (ns < 0) ns = 0;
+    const std::size_t b = bucket_of(ns);
+    assert(b < buckets_.size());
+    ++buckets_[b];
+    ++count_;
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+    sum_ += static_cast<double>(ns);
+}
+
+void LatencyHistogram::record(Duration d) { record_ns(d.ns()); }
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+    assert(buckets_.size() == other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+}
+
+std::int64_t LatencyHistogram::min_ns() const { return count_ ? min_ : 0; }
+std::int64_t LatencyHistogram::max_ns() const { return count_ ? max_ : 0; }
+
+double LatencyHistogram::mean_ns() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t LatencyHistogram::quantile_ns(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample, 1-based, matching "q of samples are <= value".
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) return std::min(bucket_upper(i), max_ns());
+    }
+    return max_ns();
+}
+
+void LatencyHistogram::clear() {
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<std::int64_t>::max();
+    max_ = std::numeric_limits<std::int64_t>::min();
+}
+
+std::string LatencyHistogram::summary() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus",
+                  static_cast<unsigned long long>(count_), mean_ns() / 1e3,
+                  static_cast<double>(p50_ns()) / 1e3,
+                  static_cast<double>(p99_ns()) / 1e3,
+                  static_cast<double>(max_ns()) / 1e3);
+    return buf;
+}
+
+} // namespace skv::sim

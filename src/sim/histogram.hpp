@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace skv::sim {
+
+/// HDR-style latency histogram: log2 major buckets, each split into 32
+/// linear sub-buckets, giving ~3% relative error across the full int64
+/// nanosecond range with a fixed, small footprint. Records durations; all
+/// queries are in nanoseconds.
+class LatencyHistogram {
+public:
+    LatencyHistogram();
+
+    void record(Duration d);
+    void record_ns(std::int64_t ns);
+
+    /// Merge another histogram into this one.
+    void merge(const LatencyHistogram& other);
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] std::int64_t min_ns() const;
+    [[nodiscard]] std::int64_t max_ns() const;
+    [[nodiscard]] double mean_ns() const;
+
+    /// Value at quantile q in [0, 1]; returns the upper edge of the bucket
+    /// containing the q-th sample. q=0.5 -> median, q=0.99 -> p99.
+    [[nodiscard]] std::int64_t quantile_ns(double q) const;
+
+    [[nodiscard]] double mean_us() const { return mean_ns() / 1e3; }
+    [[nodiscard]] std::int64_t p50_ns() const { return quantile_ns(0.50); }
+    [[nodiscard]] std::int64_t p99_ns() const { return quantile_ns(0.99); }
+
+    void clear();
+
+    /// One-line summary for logs: count/mean/p50/p99/max.
+    [[nodiscard]] std::string summary() const;
+
+private:
+    static constexpr int kSubBits = 5; // 32 sub-buckets per power of two
+    static constexpr int kSub = 1 << kSubBits;
+    static constexpr int kMajors = 64 - kSubBits;
+
+    static std::size_t bucket_of(std::int64_t ns);
+    static std::int64_t bucket_upper(std::size_t idx);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::int64_t min_ = 0;
+    std::int64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace skv::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace skv::sim {
+
+/// Deterministic pseudo-random number generator used everywhere in the
+/// simulation. xoshiro256** seeded through SplitMix64, so a single 64-bit
+/// seed fully determines every experiment.
+///
+/// Not a std::uniform_random_bit_generator on purpose: the standard
+/// distributions are implementation-defined, which would make results differ
+/// between standard libraries. All distributions used by the simulator are
+/// implemented here with fixed algorithms.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5eed'0000'cafe'f00dULL);
+
+    /// Next raw 64 random bits.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, n). n must be > 0. Uses rejection sampling, so the
+    /// result is exactly uniform.
+    std::uint64_t next_below(std::uint64_t n);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Bernoulli trial with probability p of returning true.
+    bool next_bool(double p);
+
+    /// Exponentially distributed double with the given mean (>0).
+    double next_exponential(double mean);
+
+    /// Fork a child generator whose stream is independent of (but fully
+    /// determined by) this one. Used to give each simulated component its
+    /// own stream so adding a component does not perturb the others.
+    Rng fork();
+
+    /// The seed this generator was constructed with (for logging).
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+private:
+    std::uint64_t seed_;
+    std::array<std::uint64_t, 4> s_{};
+};
+
+/// Zipfian generator over [0, n) with exponent theta (0 <= theta < 1 means
+/// mild skew; YCSB default is 0.99). Uses the Gray/Jim Gray "quick zipf"
+/// method with precomputed constants, the standard approach in KV
+/// benchmarking (YCSB's ZipfianGenerator).
+class ZipfianGenerator {
+public:
+    ZipfianGenerator(std::uint64_t n, double theta);
+
+    std::uint64_t next(Rng& rng);
+
+    [[nodiscard]] std::uint64_t n() const { return n_; }
+    [[nodiscard]] double theta() const { return theta_; }
+
+private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2theta_;
+};
+
+} // namespace skv::sim

@@ -1,0 +1,41 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+
+namespace skv::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::after(Duration delay, EventQueue::Callback fn) {
+    assert(delay.ns() >= 0 && "negative delay");
+    return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::at(SimTime when, EventQueue::Callback fn) {
+    assert(when >= now_ && "scheduling into the past");
+    return queue_.schedule(when, std::move(fn));
+}
+
+bool Simulation::step() {
+    if (queue_.empty()) return false;
+    auto [when, fn] = queue_.pop();
+    assert(when >= now_);
+    now_ = when;
+    ++executed_;
+    fn();
+    return true;
+}
+
+std::uint64_t Simulation::run_until(SimTime deadline) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+        step();
+        ++n;
+    }
+    // Advance the clock to the deadline even if the queue drained early, so
+    // repeated run_until() calls observe monotonic time.
+    if (deadline != SimTime::max() && now_ < deadline) now_ = deadline;
+    return n;
+}
+
+} // namespace skv::sim

@@ -1,0 +1,22 @@
+#include "sim/stats.hpp"
+
+namespace skv::sim {
+
+std::string StatsRegistry::format() const {
+    std::string out;
+    for (const auto& [k, v] : counters_) {
+        out += k;
+        out += '=';
+        out += std::to_string(v);
+        out += '\n';
+    }
+    for (const auto& [k, v] : gauges_) {
+        out += k;
+        out += '=';
+        out += std::to_string(v);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace skv::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace skv::sim {
+
+/// A named bag of monotonically increasing counters and last-value gauges.
+/// Components register what they touch lazily; experiment harnesses read the
+/// whole registry at the end of a run. std::map keeps iteration order
+/// deterministic for golden-output tests.
+class StatsRegistry {
+public:
+    /// Increment counter `name` by `delta` (default 1).
+    void incr(const std::string& name, std::uint64_t delta = 1) {
+        counters_[name] += delta;
+    }
+
+    /// Set gauge `name` to `value`.
+    void set_gauge(const std::string& name, std::int64_t value) {
+        gauges_[name] = value;
+    }
+
+    [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    [[nodiscard]] std::int64_t gauge(const std::string& name) const {
+        auto it = gauges_.find(name);
+        return it == gauges_.end() ? 0 : it->second;
+    }
+
+    [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+        return counters_;
+    }
+    [[nodiscard]] const std::map<std::string, std::int64_t>& gauges() const {
+        return gauges_;
+    }
+
+    void clear() {
+        counters_.clear();
+        gauges_.clear();
+    }
+
+    /// "name=value" lines, sorted by name.
+    [[nodiscard]] std::string format() const;
+
+private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, std::int64_t> gauges_;
+};
+
+} // namespace skv::sim

@@ -1,0 +1,28 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace skv::sim {
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+    char buf[64];
+    if (ns < 10'000) {
+        std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+    } else if (ns < 10'000'000) {
+        std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+    } else if (ns < 10'000'000'000LL) {
+        std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string to_string(SimTime t) { return format_ns(t.ns()); }
+std::string to_string(Duration d) { return format_ns(d.ns()); }
+
+} // namespace skv::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace skv::sim {
+
+/// A point in simulated time, measured in integer nanoseconds since the
+/// start of the simulation. A strong type so that times and durations are
+/// not accidentally mixed with plain integers.
+class SimTime {
+public:
+    constexpr SimTime() = default;
+    constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+    [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+    [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+    [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+    [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+    constexpr auto operator<=>(const SimTime&) const = default;
+
+    static constexpr SimTime zero() { return SimTime(0); }
+    static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+private:
+    std::int64_t ns_ = 0;
+};
+
+/// A span of simulated time in integer nanoseconds. Durations add and scale;
+/// times only differ and offset.
+class Duration {
+public:
+    constexpr Duration() = default;
+    constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+    [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+    [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+    [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+    [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+    constexpr auto operator<=>(const Duration&) const = default;
+
+    constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+    constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+    constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+    constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+    constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+    constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+
+    /// Scale by a floating-point factor (e.g. a core slowdown ratio),
+    /// rounding to the nearest nanosecond.
+    [[nodiscard]] constexpr Duration scaled(double f) const {
+        return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * f + 0.5));
+    }
+
+    static constexpr Duration zero() { return Duration(0); }
+
+private:
+    std::int64_t ns_ = 0;
+};
+
+constexpr Duration nanoseconds(std::int64_t v) { return Duration(v); }
+constexpr Duration microseconds(std::int64_t v) { return Duration(v * 1000); }
+constexpr Duration milliseconds(std::int64_t v) { return Duration(v * 1000 * 1000); }
+constexpr Duration seconds(std::int64_t v) { return Duration(v * 1000 * 1000 * 1000); }
+
+constexpr SimTime operator+(SimTime t, Duration d) { return SimTime(t.ns() + d.ns()); }
+constexpr SimTime operator-(SimTime t, Duration d) { return SimTime(t.ns() - d.ns()); }
+constexpr Duration operator-(SimTime a, SimTime b) { return Duration(a.ns() - b.ns()); }
+
+/// Renders a time as "12.345ms" style text for traces and logs.
+std::string to_string(SimTime t);
+std::string to_string(Duration d);
+
+} // namespace skv::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace skv::sim {
+
+/// One trace record: a timestamped, categorised message emitted by a
+/// simulated component. Used for debugging and for determinism checks
+/// (two runs with the same seed must produce identical digests).
+struct TraceRecord {
+    SimTime at;
+    std::string component;
+    std::string message;
+};
+
+/// Bounded in-memory trace ring. Keeps the most recent `capacity` records
+/// and a rolling FNV-1a digest over everything ever emitted, so determinism
+/// can be asserted without retaining the full history.
+class Trace {
+public:
+    explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+    void emit(SimTime at, std::string component, std::string message);
+
+    [[nodiscard]] const std::deque<TraceRecord>& records() const { return records_; }
+    [[nodiscard]] std::uint64_t digest() const { return digest_; }
+    [[nodiscard]] std::uint64_t total_emitted() const { return total_; }
+
+    /// Enable/disable recording (digest still accumulates when disabled is
+    /// false; when fully disabled both stop).
+    void set_enabled(bool on) { enabled_ = on; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Render the retained records as lines, newest last.
+    [[nodiscard]] std::vector<std::string> format() const;
+
+    void clear();
+
+private:
+    std::size_t capacity_;
+    bool enabled_ = true;
+    std::deque<TraceRecord> records_;
+    std::uint64_t digest_ = 0xcbf29ce484222325ULL; // FNV offset basis
+    std::uint64_t total_ = 0;
+};
+
+} // namespace skv::sim

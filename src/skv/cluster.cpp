@@ -1,0 +1,105 @@
+#include "skv/cluster.hpp"
+
+#include <cassert>
+
+namespace skv::offload {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(std::move(cfg)), sim_(cfg_.seed), fabric_(sim_),
+      tcp_(sim_, fabric_, cfg_.costs), rdma_(sim_, fabric_, cfg_.costs),
+      cm_(rdma_) {}
+
+void Cluster::start() {
+    assert(!started_);
+    started_ = true;
+
+    server::KvServer::Transports nets{&fabric_, &tcp_, &cm_};
+
+    // Master host.
+    const net::EndpointId master_ep = fabric_.add_host("master");
+    cores_.push_back(std::make_unique<cpu::Core>(sim_, "master/cpu"));
+    const net::NodeRef master_node{master_ep, cores_.back().get()};
+    server::ServerConfig mcfg = cfg_.server_tmpl;
+    mcfg.name = "master";
+    mcfg.transport = cfg_.transport;
+    mcfg.offload_replication = cfg_.offload;
+    master_ = std::make_unique<server::KvServer>(sim_, cfg_.costs, nets,
+                                                 master_node, mcfg);
+
+    // SmartNIC + Nic-KV on the master (SKV mode only; the baseline's NIC
+    // switch steers everything straight to the host).
+    if (cfg_.offload) {
+        nic::SmartNicParams np = cfg_.nic_params;
+        np.core_slowdown = cfg_.costs.nic_core_slowdown;
+        np.arm_cores = cfg_.costs.nic_cores;
+        nic_ = std::make_unique<nic::SmartNic>(sim_, fabric_, master_ep,
+                                               "master/bf2", np);
+        nickv_ = std::make_unique<NicKv>(sim_, cfg_.costs, cm_, *nic_,
+                                         cfg_.nic_cfg);
+    }
+
+    // Slave hosts.
+    for (int i = 0; i < cfg_.n_slaves; ++i) {
+        const std::string name = "slave" + std::to_string(i);
+        const net::EndpointId ep = fabric_.add_host(name);
+        cores_.push_back(std::make_unique<cpu::Core>(sim_, name + "/cpu"));
+        const net::NodeRef node{ep, cores_.back().get()};
+        server::ServerConfig scfg = cfg_.server_tmpl;
+        scfg.name = name;
+        scfg.transport = cfg_.transport;
+        scfg.offload_replication = false;
+        slaves_.push_back(std::make_unique<server::KvServer>(
+            sim_, cfg_.costs, nets, node, scfg));
+    }
+
+    // Bring everything up: listeners first, then the replication topology.
+    master_->start();
+    for (auto& s : slaves_) s->start();
+    if (nickv_) nickv_->start();
+
+    sim_.after(sim::milliseconds(1), [this]() {
+        if (cfg_.offload) {
+            master_->attach_nic(nickv_->endpoint(), cfg_.nic_cfg.port);
+        }
+    });
+    sim_.after(sim::milliseconds(10), [this]() {
+        for (auto& s : slaves_) {
+            if (cfg_.offload) {
+                s->slaveof_skv(nickv_->endpoint(), cfg_.nic_cfg.port);
+            } else {
+                s->slaveof_baseline(
+                    master_->node().ep,
+                    static_cast<std::uint16_t>(master_->config().port + 1));
+            }
+        }
+    });
+
+    sim_.run_until(sim_.now() + cfg_.settle);
+}
+
+net::NodeRef Cluster::add_client_host(const std::string& name) {
+    const net::EndpointId ep = fabric_.add_host(name);
+    cores_.push_back(std::make_unique<cpu::Core>(sim_, name + "/cpu"));
+    return net::NodeRef{ep, cores_.back().get()};
+}
+
+void Cluster::connect_client(net::NodeRef from,
+                             std::function<void(net::ChannelPtr)> cb) {
+    if (cfg_.transport == server::Transport::kTcp) {
+        tcp_.connect(from, master_->node().ep, master_->config().port,
+                     std::move(cb));
+    } else {
+        cm_.connect(from, master_->node().ep, master_->config().port,
+                    std::move(cb));
+    }
+}
+
+bool Cluster::converged() const {
+    const std::int64_t target = master_->master_offset();
+    for (const auto& s : slaves_) {
+        if (s->slave_applied_offset() != target) return false;
+    }
+    return true;
+}
+
+} // namespace skv::offload

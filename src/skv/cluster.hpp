@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "cpu/cost_model.hpp"
+#include "net/fabric.hpp"
+#include "net/tcp.hpp"
+#include "nic/smartnic.hpp"
+#include "rdma/cm.hpp"
+#include "rdma/verbs.hpp"
+#include "server/kv_server.hpp"
+#include "sim/simulation.hpp"
+#include "skv/nic_kv.hpp"
+
+namespace skv::offload {
+
+/// Everything needed to stand up the paper's testbed in one call: a
+/// master host (optionally with a BlueField-class SmartNIC running
+/// Nic-KV), N slave hosts, the RoCE fabric, and both transports.
+struct ClusterConfig {
+    std::uint64_t seed = 42;
+    int n_slaves = 3;
+    server::Transport transport = server::Transport::kRdma;
+    /// true = SKV (replication offloaded to Nic-KV); false = the baseline
+    /// where the master fans out itself (RDMA-Redis or TCP Redis).
+    bool offload = false;
+    cpu::CostModel costs{};
+    nic::SmartNicParams nic_params{};
+    NicKvConfig nic_cfg{};
+    server::ServerConfig server_tmpl{};
+    /// Simulated time allowed for connection setup + initial sync before
+    /// start() returns.
+    sim::Duration settle{sim::milliseconds(300)};
+};
+
+class Cluster {
+public:
+    explicit Cluster(ClusterConfig cfg);
+
+    /// Build and start every component, then run the simulation until the
+    /// cluster settles (connections up, slaves synchronized).
+    void start();
+
+    [[nodiscard]] sim::Simulation& sim() { return sim_; }
+    [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+    [[nodiscard]] const cpu::CostModel& costs() const { return cfg_.costs; }
+    [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
+
+    [[nodiscard]] server::KvServer& master() { return *master_; }
+    [[nodiscard]] server::KvServer& slave(int i) {
+        return *slaves_.at(static_cast<std::size_t>(i));
+    }
+    [[nodiscard]] int slave_count() const { return static_cast<int>(slaves_.size()); }
+    [[nodiscard]] NicKv* nic_kv() { return nickv_.get(); }
+    [[nodiscard]] nic::SmartNic* smartnic() { return nic_.get(); }
+
+    [[nodiscard]] net::TcpNetwork& tcp() { return tcp_; }
+    [[nodiscard]] rdma::RdmaNetwork& rdma() { return rdma_; }
+    [[nodiscard]] rdma::ConnectionManager& cm() { return cm_; }
+
+    /// Create an additional host (with its own core) for load generators.
+    net::NodeRef add_client_host(const std::string& name);
+
+    /// Open a client connection to the master over the configured
+    /// transport; `cb` receives the channel when established.
+    void connect_client(net::NodeRef from,
+                        std::function<void(net::ChannelPtr)> cb);
+
+    /// True once every slave has applied the full master stream.
+    [[nodiscard]] bool converged() const;
+
+private:
+    ClusterConfig cfg_;
+    sim::Simulation sim_;
+    net::Fabric fabric_;
+    net::TcpNetwork tcp_;
+    rdma::RdmaNetwork rdma_;
+    rdma::ConnectionManager cm_;
+
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::unique_ptr<nic::SmartNic> nic_;
+    std::unique_ptr<NicKv> nickv_;
+    std::unique_ptr<server::KvServer> master_;
+    std::vector<std::unique_ptr<server::KvServer>> slaves_;
+    bool started_ = false;
+};
+
+} // namespace skv::offload

@@ -1,0 +1,342 @@
+#include "skv/nic_kv.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "kv/sds.hpp"
+#include "rdma/ring_channel.hpp"
+
+namespace skv::offload {
+
+using server::NodeMsg;
+
+NicKv::NicKv(sim::Simulation& sim, const cpu::CostModel& costs,
+             rdma::ConnectionManager& cm, nic::SmartNic& nic, NicKvConfig cfg)
+    : sim_(sim), costs_(costs), cm_(cm), nic_(nic), cfg_(std::move(cfg)),
+      rng_(sim.fork_rng()) {}
+
+void NicKv::start() {
+    assert(!started_);
+    started_ = true;
+    // The NIC switch steers this service port up to the ARM cores.
+    nic_.steer(cfg_.port, nic::SteerTarget::kNicCores);
+    cm_.listen(nic_.node(0), cfg_.port,
+               [this](net::ChannelPtr ch) {
+                   if (ch) on_accept(std::move(ch));
+               });
+    sim_.after(cfg_.probe_interval, [this]() { probe_cycle(); });
+}
+
+void NicKv::on_accept(net::ChannelPtr ch) {
+    auto raw = ch.get();
+    ch->set_on_message([this, raw](std::string payload) {
+        // Recover the shared_ptr from the node list (or transiently wrap).
+        const auto msg = NodeMsg::decode(payload);
+        if (!msg.has_value()) {
+            stats_.incr("malformed");
+            return;
+        }
+        // Identify the entry by channel pointer.
+        net::ChannelPtr owner;
+        for (auto& n : nodes_) {
+            if (n.channel.get() == raw) {
+                owner = n.channel;
+                break;
+            }
+        }
+        if (!owner) {
+            // First message on a fresh connection: registration.
+            for (auto& p : pending_) {
+                if (p.get() == raw) {
+                    owner = p;
+                    break;
+                }
+            }
+        }
+        if (!owner) return;
+        handle(owner, *msg);
+    });
+    pending_.push_back(std::move(ch));
+}
+
+NicKv::NodeEntry* NicKv::find_by_channel(const net::ChannelPtr& ch) {
+    for (auto& n : nodes_) {
+        if (n.channel == ch) return &n;
+    }
+    return nullptr;
+}
+
+NicKv::NodeEntry* NicKv::find_by_name(const std::string& name) {
+    for (auto& n : nodes_) {
+        if (n.name == name) return &n;
+    }
+    return nullptr;
+}
+
+std::size_t NicKv::slave_count() const {
+    std::size_t n = 0;
+    for (const auto& e : nodes_) {
+        if (!e.is_master) ++n;
+    }
+    return n;
+}
+
+int NicKv::valid_slaves() const {
+    int n = 0;
+    for (const auto& e : nodes_) {
+        if (!e.is_master && e.valid) ++n;
+    }
+    return n;
+}
+
+bool NicKv::master_valid() const {
+    return master_idx_ >= 0 && nodes_[static_cast<std::size_t>(master_idx_)].valid;
+}
+
+int NicKv::effective_threads() const {
+    // "the actual number of threads used for replication cannot be greater
+    // than the minimum value of the number of SmartNIC cores and slave
+    // nodes" (paper §III-C).
+    const int wanted = std::max(1, cfg_.thread_num);
+    return std::max(1, std::min({wanted, nic_.core_count(),
+                                 static_cast<int>(slave_count())}));
+}
+
+void NicKv::assign_cores() {
+    const int threads = effective_threads();
+    int next = 0;
+    for (auto& e : nodes_) {
+        if (e.is_master) continue;
+        e.core_idx = next % threads;
+        if (auto ring = std::dynamic_pointer_cast<rdma::RingChannel>(e.channel)) {
+            ring->rebind_core(&nic_.core(e.core_idx));
+        }
+        ++next;
+    }
+}
+
+void NicKv::handle(const net::ChannelPtr& ch, const NodeMsg& msg) {
+    switch (msg.type) {
+        case NodeMsg::Type::kSync:
+            // "master:<name>@<ep>" — the master Host-KV attaching.
+            if (msg.body.rfind("master:", 0) == 0) {
+                register_master(ch, msg);
+            }
+            break;
+        case NodeMsg::Type::kInitSync:
+            register_slave(ch, msg);
+            break;
+        case NodeMsg::Type::kReplData:
+            fan_out(msg);
+            break;
+        case NodeMsg::Type::kProbeAck:
+            handle_probe_ack(ch, msg);
+            break;
+        default:
+            stats_.incr("unexpected_msgs");
+            break;
+    }
+}
+
+void NicKv::register_master(const net::ChannelPtr& ch, const NodeMsg& msg) {
+    nic_.core(0).consume(costs_.event_dispatch);
+    const std::string ident = msg.body.substr(7); // strip "master:"
+    const auto at = ident.find('@');
+    NodeEntry e;
+    e.name = ident.substr(0, at);
+    e.ep = at == std::string::npos
+               ? net::kInvalidEndpoint
+               : static_cast<net::EndpointId>(std::stoul(ident.substr(at + 1)));
+    e.channel = ch;
+    e.is_master = true;
+    e.last_heard_ns = sim_.now().ns();
+    e.repl_offset = msg.field;
+    fanout_offset_ = msg.field;
+
+    bool was_invalid = false;
+    if (NodeEntry* existing = find_by_name(e.name)) {
+        was_invalid = !existing->valid;
+        *existing = std::move(e);
+    } else {
+        if (!nic_.reserve_memory(cfg_.node_entry_bytes)) {
+            stats_.incr("oom_rejects");
+            return;
+        }
+        nodes_.push_back(std::move(e));
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].is_master) master_idx_ = static_cast<int>(i);
+    }
+    std::erase(pending_, ch);
+    stats_.incr("master_registered");
+    if (was_invalid) {
+        // The crashed master is back (paper §III-D): it resumes mastership
+        // and the stand-in steps down.
+        stats_.incr("recoveries_detected");
+        if (promoted_idx_ >= 0) {
+            auto& stand_in = nodes_[static_cast<std::size_t>(promoted_idx_)];
+            stand_in.channel->send(
+                NodeMsg{NodeMsg::Type::kDemote, 0, ""}.encode());
+            promoted_idx_ = -1;
+        }
+        publish_slave_status();
+    }
+}
+
+void NicKv::register_slave(const net::ChannelPtr& ch, const NodeMsg& msg) {
+    nic_.core(0).consume(costs_.event_dispatch);
+    const auto at = msg.body.find('@');
+    NodeEntry e;
+    e.name = msg.body; // full "<name>@<ep>" identity, matching kSyncNotify
+    e.ep = at == std::string::npos
+               ? net::kInvalidEndpoint
+               : static_cast<net::EndpointId>(std::stoul(msg.body.substr(at + 1)));
+    e.channel = ch;
+    e.last_heard_ns = sim_.now().ns();
+    e.repl_offset = msg.field;
+
+    bool was_known = false;
+    if (NodeEntry* existing = find_by_name(e.name)) {
+        // Reconnection after a crash: refresh the channel and revalidate.
+        *existing = std::move(e);
+        was_known = true;
+    } else {
+        if (!nic_.reserve_memory(cfg_.node_entry_bytes)) {
+            stats_.incr("oom_rejects");
+            return;
+        }
+        nodes_.push_back(std::move(e));
+    }
+    std::erase(pending_, ch);
+    assign_cores();
+    stats_.incr(was_known ? "slave_reregistered" : "slave_registered");
+
+    // Paper Fig. 8 step 2: notify the master that a slave wants to sync.
+    if (master_idx_ >= 0) {
+        auto& master = nodes_[static_cast<std::size_t>(master_idx_)];
+        nic_.core(0).consume(costs_.event_dispatch);
+        master.channel->send(
+            NodeMsg{NodeMsg::Type::kSyncNotify, msg.field, msg.body}.encode());
+    }
+    publish_slave_status();
+}
+
+void NicKv::fan_out(const NodeMsg& msg) {
+    // Parse the replication request on the primary ARM core.
+    nic_.core(0).consume(costs_.jittered(rng_, costs_.nic_repl_parse));
+    fanout_offset_ = msg.field + static_cast<std::int64_t>(msg.body.size());
+    const std::string wire = msg.encode();
+    for (auto& e : nodes_) {
+        if (e.is_master || !e.valid || !e.channel || !e.channel->open()) continue;
+        // Copy into this slave's send buffer on its assigned ARM core, then
+        // one WRITE_WITH_IMM per slave (paper Fig. 9 step 2).
+        cpu::Core& core = nic_.core(e.core_idx);
+        core.consume(costs_.jittered(rng_, costs_.nic_repl_fanout_per_slave) +
+                     costs_.copy_cost(msg.body.size()));
+        e.channel->send(wire);
+        stats_.incr("fanout_sends");
+    }
+    stats_.incr("repl_requests");
+}
+
+void NicKv::handle_probe_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {
+    stats_.incr("probe_acks_received");
+    nic_.core(0).consume(costs_.event_dispatch);
+    NodeEntry* e = find_by_channel(ch);
+    if (e == nullptr) return;
+    e->last_heard_ns = sim_.now().ns();
+    // Body is "<role>:<offset>".
+    const auto colon = msg.body.find(':');
+    if (colon != std::string::npos) {
+        if (const auto off = kv::string2ll(msg.body.substr(colon + 1))) {
+            e->repl_offset = *off;
+        }
+    }
+    if (!e->valid) {
+        // Node recovered. Clear the invalid flag and, if it fell behind the
+        // stream while dead, ask the master to serve it a resync.
+        e->valid = true;
+        stats_.incr("recoveries_detected");
+        if (e->is_master) {
+            // Paper §III-D: the recovered master resumes mastership and the
+            // stand-in is demoted.
+            if (promoted_idx_ >= 0) {
+                auto& stand_in = nodes_[static_cast<std::size_t>(promoted_idx_)];
+                stand_in.channel->send(
+                    NodeMsg{NodeMsg::Type::kDemote, 0, ""}.encode());
+                promoted_idx_ = -1;
+            }
+        } else if (e->repl_offset < fanout_offset_ && master_idx_ >= 0) {
+            auto& master = nodes_[static_cast<std::size_t>(master_idx_)];
+            master.channel->send(NodeMsg{NodeMsg::Type::kResyncRequest,
+                                         e->repl_offset, e->name}
+                                     .encode());
+            stats_.incr("resyncs_requested");
+        }
+        publish_slave_status();
+    }
+}
+
+void NicKv::probe_cycle() {
+    ++probe_round_;
+    for (auto& e : nodes_) {
+        if (!e.channel || !e.channel->open()) continue;
+        nic_.core(0).consume(costs_.event_dispatch);
+        e.probe_seq = probe_round_;
+        e.channel->send(
+            NodeMsg{NodeMsg::Type::kProbe,
+                    static_cast<std::int64_t>(probe_round_), ""}
+                .encode());
+        stats_.incr("probes_sent");
+    }
+    // Give this round's replies `waiting_time` to come home.
+    sim_.after(cfg_.waiting_time, [this]() { check_timeouts(); });
+    sim_.after(cfg_.probe_interval, [this]() { probe_cycle(); });
+}
+
+void NicKv::check_timeouts() {
+    bool changed = false;
+    const std::int64_t now = sim_.now().ns();
+    for (auto& e : nodes_) {
+        if (!e.valid) continue;
+        if (now - e.last_heard_ns > cfg_.waiting_time.ns() + cfg_.probe_interval.ns()) {
+            e.valid = false;
+            changed = true;
+            stats_.incr("failures_detected");
+        }
+    }
+    if (!changed) return;
+
+    if (master_idx_ >= 0 && !nodes_[static_cast<std::size_t>(master_idx_)].valid &&
+        promoted_idx_ < 0) {
+        // Failover: pick an available slave as the stand-in master.
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            if (!nodes_[i].is_master && nodes_[i].valid) {
+                promoted_idx_ = static_cast<int>(i);
+                nodes_[i].channel->send(
+                    NodeMsg{NodeMsg::Type::kPromote, 0, ""}.encode());
+                stats_.incr("failovers");
+                break;
+            }
+        }
+    }
+    publish_slave_status();
+}
+
+void NicKv::publish_slave_status() {
+    if (master_idx_ < 0) return;
+    auto& master = nodes_[static_cast<std::size_t>(master_idx_)];
+    if (!master.channel || !master.channel->open()) return;
+    std::string invalid;
+    for (const auto& e : nodes_) {
+        if (!e.is_master && !e.valid) {
+            if (!invalid.empty()) invalid += ',';
+            invalid += e.name;
+        }
+    }
+    nic_.core(0).consume(costs_.event_dispatch);
+    master.channel->send(
+        NodeMsg{NodeMsg::Type::kSlaveCount, valid_slaves(), invalid}.encode());
+}
+
+} // namespace skv::offload

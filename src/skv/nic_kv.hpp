@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/cost_model.hpp"
+#include "net/channel.hpp"
+#include "nic/smartnic.hpp"
+#include "rdma/cm.hpp"
+#include "server/protocol.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace skv::offload {
+
+struct NicKvConfig {
+    std::string name = "nic-kv";
+    std::uint16_t port = 7000;
+    /// Replication threads on the SmartNIC (paper §III-C). Clamped at run
+    /// time to min(ARM cores, slave count); 1 disables multi-threading,
+    /// the paper's default.
+    int thread_num = 1;
+    /// Probe cadence (paper §III-D: every 1 second).
+    sim::Duration probe_interval{sim::seconds(1)};
+    /// waiting-time: a node that has not answered a probe for this long is
+    /// considered crashed.
+    sim::Duration waiting_time{sim::milliseconds(1500)};
+    /// Node-list entry footprint charged against on-board DRAM.
+    std::size_t node_entry_bytes = 512 * 1024;
+};
+
+/// Nic-KV: the offloaded component running on the SmartNIC's ARM cores.
+/// It never talks to clients (paper §III-C: "Nic-KV does not handle
+/// requests from clients. Instead, it only interacts with other server
+/// nodes"). It maintains the node list, performs steady-state replication
+/// fan-out on behalf of the master, coordinates initial synchronization,
+/// and runs the failure detector.
+class NicKv {
+public:
+    struct NodeEntry {
+        std::string name;
+        net::EndpointId ep = net::kInvalidEndpoint;
+        net::ChannelPtr channel;
+        bool is_master = false;
+        bool valid = true;
+        /// Replication offset last reported by the node (probe acks).
+        std::int64_t repl_offset = 0;
+        /// Probe bookkeeping.
+        std::int64_t last_heard_ns = 0;
+        std::uint64_t probe_seq = 0;
+        /// Which ARM core handles this slave's fan-out (multi-threaded mode).
+        int core_idx = 0;
+    };
+
+    NicKv(sim::Simulation& sim, const cpu::CostModel& costs,
+          rdma::ConnectionManager& cm, nic::SmartNic& nic, NicKvConfig cfg);
+
+    /// Listen on the SmartNIC endpoint and start the probe timer.
+    void start();
+
+    // --- introspection --------------------------------------------------------
+    [[nodiscard]] const std::vector<NodeEntry>& nodes() const { return nodes_; }
+    [[nodiscard]] std::size_t slave_count() const;
+    [[nodiscard]] int valid_slaves() const;
+    [[nodiscard]] bool master_known() const { return master_idx_ >= 0; }
+    [[nodiscard]] bool master_valid() const;
+    [[nodiscard]] std::int64_t fanout_offset() const { return fanout_offset_; }
+    [[nodiscard]] int effective_threads() const;
+    [[nodiscard]] sim::StatsRegistry& stats() { return stats_; }
+    [[nodiscard]] const NicKvConfig& config() const { return cfg_; }
+    [[nodiscard]] net::EndpointId endpoint() const { return nic_.endpoint(); }
+
+private:
+    void on_accept(net::ChannelPtr ch);
+    void handle(const net::ChannelPtr& ch, const server::NodeMsg& msg);
+
+    void register_master(const net::ChannelPtr& ch, const server::NodeMsg& msg);
+    void register_slave(const net::ChannelPtr& ch, const server::NodeMsg& msg);
+    void fan_out(const server::NodeMsg& msg);
+    void handle_probe_ack(const net::ChannelPtr& ch, const server::NodeMsg& msg);
+
+    void probe_cycle();
+    void check_timeouts();
+    void publish_slave_status();
+    void assign_cores();
+
+    [[nodiscard]] NodeEntry* find_by_channel(const net::ChannelPtr& ch);
+    [[nodiscard]] NodeEntry* find_by_name(const std::string& name);
+
+    sim::Simulation& sim_;
+    const cpu::CostModel& costs_;
+    rdma::ConnectionManager& cm_;
+    nic::SmartNic& nic_;
+    NicKvConfig cfg_;
+    sim::Rng rng_;
+
+    std::vector<NodeEntry> nodes_;
+    std::vector<net::ChannelPtr> pending_; // accepted, not yet registered
+    int master_idx_ = -1;
+    int promoted_idx_ = -1; // slave elevated while the master is down
+    std::int64_t fanout_offset_ = 0;
+    std::uint64_t probe_round_ = 0;
+    bool started_ = false;
+
+    sim::StatsRegistry stats_;
+};
+
+} // namespace skv::offload

@@ -1,0 +1,61 @@
+#include "workload/client.hpp"
+
+namespace skv::workload {
+
+BenchClient::BenchClient(sim::Simulation& sim, const cpu::CostModel& costs,
+                         net::NodeRef node, Generator gen,
+                         sim::Duration turnaround)
+    : sim_(sim), costs_(costs), node_(node), gen_(std::move(gen)),
+      turnaround_(turnaround), rng_(sim.fork_rng()) {}
+
+void BenchClient::attach(net::ChannelPtr ch) {
+    channel_ = std::move(ch);
+    auto self = shared_from_this();
+    channel_->set_on_message([self](std::string payload) {
+        self->on_reply(std::move(payload));
+    });
+    issue_next();
+}
+
+void BenchClient::issue_next() {
+    if (!running_ || !channel_ || !channel_->open()) return;
+    const auto argv = gen_.next();
+    // Command construction cost on the client core.
+    node_.core->consume(costs_.jittered(rng_, costs_.reply_build));
+    in_flight_ = true;
+    issued_at_ = sim_.now();
+    channel_->send(kv::resp::command(argv));
+}
+
+void BenchClient::on_reply(std::string payload) {
+    parser_.feed(payload);
+    kv::resp::Value v;
+    for (;;) {
+        const auto st = parser_.next(&v);
+        if (st == kv::resp::Status::kNeedMore) break;
+        if (st == kv::resp::Status::kError) {
+            ++errors_;
+            parser_.reset();
+            break;
+        }
+        if (!in_flight_) continue; // stale reply after stop()
+        in_flight_ = false;
+        ++total_;
+        const sim::Duration latency = sim_.now() - issued_at_;
+        if (v.is_error()) ++errors_;
+        if (recording_) {
+            ++recorded_;
+            hist_.record(latency);
+            if (hook_) hook_(latency);
+        }
+        // Reply-parse cost on the core, then the client's own turnaround
+        // (not core-occupying: it models the generator's pacing, so 16
+        // connections do not serialize behind one simulated core).
+        node_.core->consume(costs_.jittered(rng_, costs_.cmd_parse));
+        auto self = shared_from_this();
+        sim_.after(costs_.jittered(rng_, turnaround_),
+                   [self]() { self->issue_next(); });
+    }
+}
+
+} // namespace skv::workload

@@ -1,0 +1,39 @@
+#include "workload/generator.hpp"
+
+namespace skv::workload {
+
+Generator::Generator(WorkloadSpec spec, sim::Rng rng)
+    : spec_(std::move(spec)), rng_(rng) {
+    if (spec_.key_dist == KeyDist::kZipfian) {
+        zipf_ = std::make_unique<sim::ZipfianGenerator>(spec_.key_count,
+                                                        spec_.zipf_theta);
+    }
+}
+
+std::string Generator::pick_key() {
+    const std::uint64_t idx = spec_.key_dist == KeyDist::kZipfian
+                                  ? zipf_->next(rng_)
+                                  : rng_.next_below(spec_.key_count);
+    return spec_.key_prefix + std::to_string(idx);
+}
+
+std::string Generator::make_value() {
+    std::string v(spec_.value_bytes, 'x');
+    // Vary a small prefix so values are not all identical (and int-encoded).
+    const std::uint64_t tag = rng_.next_u64();
+    for (std::size_t i = 0; i < 8 && i < v.size(); ++i) {
+        v[i] = static_cast<char>('a' + ((tag >> (i * 8)) % 26));
+    }
+    return v;
+}
+
+std::vector<std::string> Generator::next() {
+    if (rng_.next_double() < spec_.set_ratio) {
+        ++sets_;
+        return {"SET", pick_key(), make_value()};
+    }
+    ++gets_;
+    return {"GET", pick_key()};
+}
+
+} // namespace skv::workload

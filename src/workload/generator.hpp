@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace skv::workload {
+
+enum class KeyDist : std::uint8_t { kUniform, kZipfian };
+
+/// What the closed-loop clients send: a SET/GET mix over a keyspace, in
+/// the style of redis-benchmark (fixed-size values, "key:<n>" keys).
+struct WorkloadSpec {
+    /// Fraction of operations that are SETs (1.0 = pure SET, 0.0 = pure GET).
+    double set_ratio = 1.0;
+    std::uint64_t key_count = 10'000;
+    KeyDist key_dist = KeyDist::kUniform;
+    double zipf_theta = 0.99;
+    std::size_t value_bytes = 64;
+    std::string key_prefix = "key:";
+};
+
+/// Deterministic command generator; each client owns one (with a forked
+/// RNG stream) so client count does not perturb the sequences.
+class Generator {
+public:
+    Generator(WorkloadSpec spec, sim::Rng rng);
+
+    /// The next command to issue, as argv.
+    std::vector<std::string> next();
+
+    [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+    [[nodiscard]] std::uint64_t sets_generated() const { return sets_; }
+    [[nodiscard]] std::uint64_t gets_generated() const { return gets_; }
+
+    /// A value of the configured size (cheap fill pattern).
+    [[nodiscard]] std::string make_value();
+
+private:
+    [[nodiscard]] std::string pick_key();
+
+    WorkloadSpec spec_;
+    sim::Rng rng_;
+    std::unique_ptr<sim::ZipfianGenerator> zipf_;
+    std::uint64_t sets_ = 0;
+    std::uint64_t gets_ = 0;
+};
+
+} // namespace skv::workload

@@ -1,0 +1,123 @@
+#include "workload/runner.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "kv/object.hpp"
+#include "workload/client.hpp"
+
+namespace skv::workload {
+
+std::string RunResult::summary() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "tput=%.1f kops/s mean=%.1fus p50=%.1fus p99=%.1fus "
+                  "ops=%llu errs=%llu cpu=%.0f%%",
+                  throughput_kops, mean_us, p50_us, p99_us,
+                  static_cast<unsigned long long>(ops),
+                  static_cast<unsigned long long>(errors),
+                  master_cpu_util * 100.0);
+    return buf;
+}
+
+RunResult run_workload(offload::Cluster& cluster, const RunOptions& opts) {
+    auto& sim = cluster.sim();
+
+    if (opts.preload) {
+        // Populate every node identically, bypassing replication: the GET
+        // experiments measure the steady state, not the loading phase.
+        Generator loader(opts.spec, sim.fork_rng());
+        for (std::uint64_t i = 0; i < opts.spec.key_count; ++i) {
+            const std::string key = opts.spec.key_prefix + std::to_string(i);
+            const std::string val = loader.make_value();
+            cluster.master().db().set(key, kv::Object::make_string(val));
+            for (int s = 0; s < cluster.slave_count(); ++s) {
+                cluster.slave(s).db().set(key, kv::Object::make_string(val));
+            }
+        }
+    }
+
+    // All clients live on one load-generator host, as redis-benchmark does.
+    const net::NodeRef client_host = cluster.add_client_host("loadgen");
+    std::vector<std::shared_ptr<BenchClient>> clients;
+    clients.reserve(static_cast<std::size_t>(opts.clients));
+
+    // Timeline bookkeeping.
+    std::vector<std::uint64_t> bins;
+    sim::SimTime measure_start = sim::SimTime::zero();
+    const bool want_timeline = opts.timeline_bin.ns() > 0;
+    if (want_timeline) {
+        const auto n = static_cast<std::size_t>(
+            opts.measure.ns() / opts.timeline_bin.ns() + 1);
+        bins.assign(n, 0);
+    }
+
+    for (int i = 0; i < opts.clients; ++i) {
+        auto client = std::make_shared<BenchClient>(
+            sim, cluster.costs(), client_host,
+            Generator(opts.spec, sim.fork_rng()), opts.client_turnaround);
+        if (want_timeline) {
+            client->set_completion_hook([&bins, &measure_start, &sim,
+                                         bin = opts.timeline_bin](sim::Duration) {
+                const auto idx = static_cast<std::size_t>(
+                    (sim.now() - measure_start).ns() / bin.ns());
+                if (idx < bins.size()) ++bins[idx];
+            });
+        }
+        clients.push_back(client);
+        cluster.connect_client(client_host, [client](net::ChannelPtr ch) {
+            if (ch) client->attach(std::move(ch));
+        });
+    }
+
+    // Warmup, then flip every client to recording.
+    sim.run_until(sim.now() + opts.warmup);
+    measure_start = sim.now();
+    const double busy_before =
+        static_cast<double>(cluster.master().node().core->total_busy().ns());
+    for (auto& c : clients) c->set_recording(true);
+
+    // Scripted faults (Fig. 14).
+    for (const auto& f : opts.faults) {
+        sim.at(measure_start + f.at, [&cluster, f]() {
+            if (f.recover) {
+                cluster.slave(f.slave_idx).recover();
+            } else {
+                cluster.slave(f.slave_idx).crash();
+            }
+        });
+    }
+
+    sim.run_until(measure_start + opts.measure);
+    for (auto& c : clients) {
+        c->set_recording(false);
+        c->stop();
+    }
+
+    RunResult res;
+    sim::LatencyHistogram merged;
+    for (const auto& c : clients) {
+        merged.merge(c->latencies());
+        res.ops += c->recorded_ops();
+        res.errors += c->errors();
+    }
+    res.throughput_kops =
+        static_cast<double>(res.ops) / opts.measure.sec() / 1e3;
+    res.mean_us = merged.mean_us();
+    res.p50_us = static_cast<double>(merged.p50_ns()) / 1e3;
+    res.p99_us = static_cast<double>(merged.p99_ns()) / 1e3;
+    res.max_us = static_cast<double>(merged.max_ns()) / 1e3;
+    res.master_cpu_util =
+        (cluster.master().node().core->total_busy().ns() - busy_before) /
+        static_cast<double>(opts.measure.ns());
+    if (want_timeline) {
+        res.timeline_kops.reserve(bins.size());
+        for (const auto b : bins) {
+            res.timeline_kops.push_back(static_cast<double>(b) /
+                                        opts.timeline_bin.sec() / 1e3);
+        }
+    }
+    return res;
+}
+
+} // namespace skv::workload

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/histogram.hpp"
+#include "sim/time.hpp"
+#include "skv/cluster.hpp"
+#include "workload/generator.hpp"
+
+namespace skv::workload {
+
+struct RunOptions {
+    int clients = 8;
+    WorkloadSpec spec{};
+    sim::Duration warmup{sim::milliseconds(300)};
+    sim::Duration measure{sim::seconds(2)};
+    /// When non-zero, also collect a throughput timeline with this bin
+    /// width (Fig. 14).
+    sim::Duration timeline_bin{sim::Duration::zero()};
+    /// Keys preloaded into every node before the run (GET workloads need a
+    /// populated keyspace).
+    bool preload = false;
+    /// Per-request client turnaround: the load generator's own event loop,
+    /// buffer management and timer bookkeeping between receiving a reply
+    /// and issuing the next request. Calibrated so the concurrency at
+    /// which the server saturates matches the paper's Fig. 10/11 knees
+    /// (redis-benchmark is not a zero-overhead client).
+    sim::Duration client_turnaround{sim::microseconds(9)};
+    /// Scripted fault injections relative to the start of measurement.
+    struct Fault {
+        sim::Duration at;
+        int slave_idx;
+        bool recover; // false = crash, true = recover
+    };
+    std::vector<Fault> faults;
+};
+
+struct RunResult {
+    double throughput_kops = 0;
+    double mean_us = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t errors = 0;
+    double master_cpu_util = 0;
+    /// ops/s per timeline bin (empty unless timeline_bin was set).
+    std::vector<double> timeline_kops;
+
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Drive `opts.clients` closed-loop clients against the cluster's master
+/// and measure. The cluster must already be start()ed. redis-benchmark
+/// methodology: all clients connect first, warm up, then a fixed-length
+/// measurement window.
+RunResult run_workload(offload::Cluster& cluster, const RunOptions& opts);
+
+} // namespace skv::workload

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core.hpp"
+#include "cpu/cost_model.hpp"
+
+namespace skv::cpu {
+namespace {
+
+TEST(Core, TasksRunSeriallyInOrder) {
+    sim::Simulation sim(1);
+    Core core(sim, "c");
+    std::vector<int> order;
+    std::vector<std::int64_t> times;
+    core.submit(sim::microseconds(2), [&] {
+        order.push_back(1);
+        times.push_back(sim.now().ns());
+    });
+    core.submit(sim::microseconds(3), [&] {
+        order.push_back(2);
+        times.push_back(sim.now().ns());
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(times[0], 2'000);
+    EXPECT_EQ(times[1], 5'000); // queued behind the first
+}
+
+TEST(Core, SpeedFactorScalesCost) {
+    sim::Simulation sim(1);
+    Core slow(sim, "arm", 2.5);
+    std::int64_t done = 0;
+    slow.submit(sim::microseconds(2), [&] { done = sim.now().ns(); });
+    sim.run();
+    EXPECT_EQ(done, 5'000);
+}
+
+TEST(Core, ConsumeOccupiesWithoutCallback) {
+    sim::Simulation sim(1);
+    Core core(sim, "c");
+    core.consume(sim::microseconds(10));
+    std::int64_t done = 0;
+    core.submit(sim::microseconds(1), [&] { done = sim.now().ns(); });
+    sim.run();
+    EXPECT_EQ(done, 11'000);
+}
+
+TEST(Core, IdleGapThenNewWork) {
+    sim::Simulation sim(1);
+    Core core(sim, "c");
+    core.submit(sim::microseconds(1), [] {});
+    sim.run();
+    // Core idle from t=1us. New work at t=10us starts immediately.
+    sim.after(sim::microseconds(9), [&] {
+        core.submit(sim::microseconds(2), [&] {
+            EXPECT_EQ(sim.now().ns(), 12'000);
+        });
+    });
+    sim.run();
+}
+
+TEST(Core, TotalBusyAccumulates) {
+    sim::Simulation sim(1);
+    Core core(sim, "c");
+    core.consume(sim::microseconds(3));
+    core.consume(sim::microseconds(4));
+    EXPECT_EQ(core.total_busy().ns(), 7'000);
+    EXPECT_EQ(core.tasks_executed(), 2u);
+}
+
+TEST(Core, UtilizationHalfBusy) {
+    sim::Simulation sim(1);
+    Core core(sim, "c");
+    core.consume(sim::microseconds(5));
+    sim.run_until(sim::SimTime(10'000));
+    EXPECT_NEAR(core.utilization(), 0.5, 0.01);
+}
+
+TEST(Core, UtilizationClipsCommittedFuture) {
+    sim::Simulation sim(1);
+    Core core(sim, "c");
+    core.consume(sim::milliseconds(100)); // committed far beyond now
+    sim.run_until(sim::SimTime(1'000'000));
+    EXPECT_LE(core.utilization(), 1.0);
+    EXPECT_GE(core.utilization(), 0.99);
+}
+
+TEST(Core, HaltDropsSubmissions) {
+    sim::Simulation sim(1);
+    Core core(sim, "c");
+    core.halt();
+    bool ran = false;
+    const auto t = core.submit(sim::microseconds(1), [&] { ran = true; });
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(t, sim::SimTime::max());
+    core.resume();
+    core.submit(sim::microseconds(1), [&] { ran = true; });
+    sim.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(CostModel, JitterNeverShrinks) {
+    CostModel costs;
+    sim::Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const auto j = costs.jittered(rng, sim::microseconds(1));
+        EXPECT_GE(j.ns(), 1'000);
+        EXPECT_LT(j.ns(), 100'000); // exponential tail but not absurd
+    }
+}
+
+TEST(CostModel, JitterDisabled) {
+    CostModel costs;
+    costs.jitter_frac = 0.0;
+    sim::Rng rng(1);
+    EXPECT_EQ(costs.jittered(rng, sim::microseconds(1)).ns(), 1'000);
+}
+
+TEST(CostModel, CopyCostLinear) {
+    CostModel costs;
+    EXPECT_EQ(costs.copy_cost(0).ns(), 0);
+    EXPECT_EQ(costs.copy_cost(20'000).ns(),
+              static_cast<std::int64_t>(20'000 * costs.copy_ns_per_byte));
+}
+
+TEST(CostModel, TcpSideCostHasFixedAndVariableParts) {
+    CostModel costs;
+    const auto small = costs.tcp_side_cost(1);
+    const auto big = costs.tcp_side_cost(100'000);
+    EXPECT_GT(small.ns(), 2'000); // syscall + proto dominate
+    EXPECT_GT(big.ns(), small.ns() + 10'000);
+}
+
+} // namespace
+} // namespace skv::cpu

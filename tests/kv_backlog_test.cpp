@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kv/backlog.hpp"
+#include "sim/rng.hpp"
+
+namespace skv::kv {
+namespace {
+
+TEST(Backlog, StartsEmpty) {
+    ReplBacklog b(64);
+    EXPECT_EQ(b.master_offset(), 0);
+    EXPECT_EQ(b.min_offset(), 0);
+    EXPECT_EQ(b.used(), 0u);
+    EXPECT_TRUE(b.can_serve(0));
+}
+
+TEST(Backlog, AppendAdvancesOffset) {
+    ReplBacklog b(64);
+    b.append("hello");
+    EXPECT_EQ(b.master_offset(), 5);
+    EXPECT_EQ(b.read_from(0), "hello");
+    EXPECT_EQ(b.read_from(2), "llo");
+    EXPECT_EQ(b.read_from(5), "");
+}
+
+TEST(Backlog, WrapAround) {
+    ReplBacklog b(8);
+    b.append("abcdef");   // offset 6
+    b.append("ghij");     // offset 10, ring holds "cdefghij"
+    EXPECT_EQ(b.master_offset(), 10);
+    EXPECT_EQ(b.min_offset(), 2);
+    EXPECT_FALSE(b.can_serve(1));
+    EXPECT_TRUE(b.can_serve(2));
+    EXPECT_EQ(b.read_from(2), "cdefghij");
+    EXPECT_EQ(b.read_from(7), "hij");
+}
+
+TEST(Backlog, AppendLargerThanCapacity) {
+    ReplBacklog b(4);
+    b.append("0123456789");
+    EXPECT_EQ(b.master_offset(), 10);
+    EXPECT_EQ(b.min_offset(), 6);
+    EXPECT_EQ(b.read_from(6), "6789");
+}
+
+TEST(Backlog, ExactCapacityAppend) {
+    ReplBacklog b(4);
+    b.append("abcd");
+    EXPECT_EQ(b.read_from(0), "abcd");
+    b.append("efgh");
+    EXPECT_EQ(b.read_from(4), "efgh");
+}
+
+TEST(Backlog, CanServeBounds) {
+    ReplBacklog b(8);
+    b.append("0123456789ab"); // offset 12, retains last 8
+    EXPECT_TRUE(b.can_serve(12));  // empty range
+    EXPECT_TRUE(b.can_serve(4));
+    EXPECT_FALSE(b.can_serve(3));
+    EXPECT_TRUE(b.can_serve(12));
+}
+
+TEST(Backlog, ClearKeepsOffset) {
+    ReplBacklog b(16);
+    b.append("some data");
+    const auto off = b.master_offset();
+    b.clear();
+    EXPECT_EQ(b.master_offset(), off);
+    EXPECT_EQ(b.used(), 0u);
+    EXPECT_FALSE(b.can_serve(0));
+    EXPECT_TRUE(b.can_serve(off));
+}
+
+class BacklogModelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BacklogModelTest, MatchesStringReference) {
+    const std::size_t cap = GetParam();
+    ReplBacklog b(cap);
+    std::string history;
+    sim::Rng rng(static_cast<std::uint64_t>(cap));
+    for (int step = 0; step < 2000; ++step) {
+        const auto len = rng.next_below(2 * cap) + 1;
+        std::string chunk;
+        for (std::size_t i = 0; i < len; ++i) {
+            chunk.push_back(static_cast<char>('a' + rng.next_below(26)));
+        }
+        b.append(chunk);
+        history += chunk;
+        ASSERT_EQ(b.master_offset(), static_cast<std::int64_t>(history.size()));
+        // Whatever the ring claims it can serve must match the history.
+        const auto lo = b.min_offset();
+        ASSERT_GE(lo, 0);
+        ASSERT_EQ(b.read_from(lo),
+                  history.substr(static_cast<std::size_t>(lo)));
+        // A mid-range read too.
+        const auto mid = lo + (b.master_offset() - lo) / 2;
+        ASSERT_EQ(b.read_from(mid),
+                  history.substr(static_cast<std::size_t>(mid)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BacklogModelTest,
+                         ::testing::Values(7u, 64u, 1024u));
+
+} // namespace
+} // namespace skv::kv

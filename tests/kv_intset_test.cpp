@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "kv/intset.hpp"
+
+namespace skv::kv {
+namespace {
+
+TEST(IntSet, StartsEmpty16Bit) {
+    IntSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.encoding(), IntSet::Encoding::kInt16);
+}
+
+TEST(IntSet, InsertSortedUnique) {
+    IntSet s;
+    EXPECT_TRUE(s.insert(5));
+    EXPECT_TRUE(s.insert(1));
+    EXPECT_TRUE(s.insert(3));
+    EXPECT_FALSE(s.insert(3));
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.at(0), 1);
+    EXPECT_EQ(s.at(1), 3);
+    EXPECT_EQ(s.at(2), 5);
+}
+
+TEST(IntSet, UpgradeTo32) {
+    IntSet s;
+    s.insert(100);
+    EXPECT_EQ(s.encoding(), IntSet::Encoding::kInt16);
+    s.insert(70'000);
+    EXPECT_EQ(s.encoding(), IntSet::Encoding::kInt32);
+    EXPECT_TRUE(s.contains(100));
+    EXPECT_TRUE(s.contains(70'000));
+    EXPECT_EQ(s.at(0), 100);
+    EXPECT_EQ(s.at(1), 70'000);
+}
+
+TEST(IntSet, UpgradeTo64) {
+    IntSet s;
+    s.insert(1);
+    s.insert(5'000'000'000LL);
+    EXPECT_EQ(s.encoding(), IntSet::Encoding::kInt64);
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_TRUE(s.contains(5'000'000'000LL));
+}
+
+TEST(IntSet, UpgradeWithNegativePrepends) {
+    IntSet s;
+    s.insert(10);
+    s.insert(20);
+    s.insert(-5'000'000'000LL); // wider and negative: sorts first
+    EXPECT_EQ(s.at(0), -5'000'000'000LL);
+    EXPECT_EQ(s.at(1), 10);
+    EXPECT_EQ(s.at(2), 20);
+}
+
+TEST(IntSet, EraseKeepsOrder) {
+    IntSet s;
+    for (int i = 0; i < 10; ++i) s.insert(i);
+    EXPECT_TRUE(s.erase(5));
+    EXPECT_FALSE(s.erase(5));
+    EXPECT_EQ(s.size(), 9u);
+    EXPECT_EQ(s.at(5), 6);
+}
+
+TEST(IntSet, EraseValueOutsideEncoding) {
+    IntSet s;
+    s.insert(1);
+    EXPECT_FALSE(s.erase(1'000'000)); // does not fit int16: cannot be present
+    EXPECT_EQ(s.encoding(), IntSet::Encoding::kInt16);
+}
+
+TEST(IntSet, ContainsBoundaries) {
+    IntSet s;
+    s.insert(std::numeric_limits<std::int16_t>::min());
+    s.insert(std::numeric_limits<std::int16_t>::max());
+    EXPECT_TRUE(s.contains(std::numeric_limits<std::int16_t>::min()));
+    EXPECT_TRUE(s.contains(std::numeric_limits<std::int16_t>::max()));
+    EXPECT_EQ(s.encoding(), IntSet::Encoding::kInt16);
+}
+
+TEST(IntSet, RandomReturnsMembers) {
+    IntSet s;
+    for (int i = 0; i < 20; ++i) s.insert(i * 3);
+    sim::Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = s.random(rng);
+        EXPECT_TRUE(s.contains(v));
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 20u);
+}
+
+class IntSetModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntSetModelTest, MatchesStdSet) {
+    sim::Rng rng(GetParam());
+    IntSet s;
+    std::set<std::int64_t> model;
+    for (int step = 0; step < 10'000; ++step) {
+        // Mix of magnitudes to exercise encoding upgrades.
+        std::int64_t v = 0;
+        switch (rng.next_below(3)) {
+            case 0: v = rng.next_range(-100, 100); break;
+            case 1: v = rng.next_range(-100'000, 100'000); break;
+            case 2: v = rng.next_range(-10'000'000'000LL, 10'000'000'000LL); break;
+        }
+        if (rng.next_bool(0.7)) {
+            ASSERT_EQ(s.insert(v), model.insert(v).second);
+        } else {
+            ASSERT_EQ(s.erase(v), model.erase(v) > 0);
+        }
+        ASSERT_EQ(s.size(), model.size());
+    }
+    // Final: identical sorted contents.
+    std::size_t i = 0;
+    for (const auto v : model) {
+        ASSERT_EQ(s.at(i), v);
+        ++i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntSetModelTest,
+                         ::testing::Values(11u, 222u, 3333u));
+
+} // namespace
+} // namespace skv::kv

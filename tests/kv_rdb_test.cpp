@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "kv/rdb.hpp"
+
+namespace skv::kv::rdb {
+namespace {
+
+Database make_db() {
+    return Database([] { return std::int64_t{1000}; });
+}
+
+void fill(Database& db) {
+    db.set("str", Object::make_string("value"));
+    db.set("num", Object::make_string("12345"));
+    auto lst = Object::make_list();
+    lst->list().push_back(Sds("a"));
+    lst->list().push_back(Sds("b"));
+    db.set("lst", lst);
+    auto st = Object::make_set();
+    st->set_add("1");
+    st->set_add("2");
+    st->set_add("word");
+    db.set("set", st);
+    auto h = Object::make_hash();
+    h->hash().set(Sds("f1"), Sds("v1"));
+    h->hash().set(Sds("f2"), Sds("v2"));
+    db.set("hsh", h);
+    auto z = Object::make_zset();
+    z->zadd(1.5, "alice");
+    z->zadd(-2.0, "bob");
+    db.set("zst", z);
+    db.set_expire("str", 5000);
+}
+
+TEST(Rdb, RoundTripAllTypes) {
+    Database src = make_db();
+    fill(src);
+    const std::string bytes = save(src);
+    Database dst = make_db();
+    ASSERT_EQ(load(bytes, dst), LoadStatus::kOk);
+    EXPECT_TRUE(src.equals(dst));
+    EXPECT_TRUE(dst.equals(src));
+    EXPECT_EQ(*dst.expire_at("str"), 5000);
+}
+
+TEST(Rdb, EmptyDatabase) {
+    Database src = make_db();
+    const std::string bytes = save(src);
+    Database dst = make_db();
+    dst.set("leftover", Object::make_string("x"));
+    ASSERT_EQ(load(bytes, dst), LoadStatus::kOk);
+    EXPECT_EQ(dst.size(), 0u); // load replaces contents
+}
+
+TEST(Rdb, SaveIsDeterministic) {
+    Database a = make_db();
+    Database b = make_db();
+    fill(a);
+    fill(b);
+    EXPECT_EQ(save(a), save(b));
+}
+
+TEST(Rdb, BadMagic) {
+    Database dst = make_db();
+    EXPECT_EQ(load("NOTANRDBFILE0123456789", dst), LoadStatus::kBadMagic);
+}
+
+TEST(Rdb, Truncated) {
+    Database src = make_db();
+    fill(src);
+    const std::string bytes = save(src);
+    Database dst = make_db();
+    EXPECT_EQ(load(bytes.substr(0, 4), dst), LoadStatus::kTruncated);
+    EXPECT_EQ(dst.size(), 0u);
+}
+
+TEST(Rdb, CorruptionDetectedByChecksum) {
+    Database src = make_db();
+    fill(src);
+    std::string bytes = save(src);
+    bytes[bytes.size() / 2] ^= 0x5A; // flip bits mid-payload
+    Database dst = make_db();
+    EXPECT_EQ(load(bytes, dst), LoadStatus::kBadChecksum);
+    EXPECT_EQ(dst.size(), 0u); // half-loaded state not served
+}
+
+TEST(Rdb, TamperedChecksum) {
+    Database src = make_db();
+    fill(src);
+    std::string bytes = save(src);
+    bytes.back() = static_cast<char>(bytes.back() + 1);
+    Database dst = make_db();
+    EXPECT_EQ(load(bytes, dst), LoadStatus::kBadChecksum);
+}
+
+TEST(Rdb, LargeValuesRoundTrip) {
+    Database src = make_db();
+    src.set("big", Object::make_string(std::string(300'000, 'x')));
+    const std::string bytes = save(src);
+    Database dst = make_db();
+    ASSERT_EQ(load(bytes, dst), LoadStatus::kOk);
+    EXPECT_EQ(dst.lookup("big")->string_len(), 300'000u);
+}
+
+TEST(Rdb, ManyKeysRoundTrip) {
+    Database src = make_db();
+    for (int i = 0; i < 5000; ++i) {
+        src.set("key:" + std::to_string(i),
+                Object::make_string("val:" + std::to_string(i)));
+    }
+    const std::string bytes = save(src);
+    Database dst = make_db();
+    ASSERT_EQ(load(bytes, dst), LoadStatus::kOk);
+    EXPECT_EQ(dst.size(), 5000u);
+    EXPECT_TRUE(src.equals(dst));
+}
+
+TEST(Crc64, KnownProperties) {
+    EXPECT_EQ(crc64(0, ""), 0u);
+    const auto a = crc64(0, "hello");
+    const auto b = crc64(0, "hello");
+    const auto c = crc64(0, "hellp");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    // Incremental == one-shot.
+    const auto inc = crc64(crc64(0, "he"), "llo");
+    EXPECT_EQ(inc, a);
+}
+
+TEST(LoadStatusNames, AllDistinct) {
+    EXPECT_STREQ(to_string(LoadStatus::kOk), "ok");
+    EXPECT_STREQ(to_string(LoadStatus::kBadMagic), "bad-magic");
+    EXPECT_STREQ(to_string(LoadStatus::kBadChecksum), "bad-checksum");
+}
+
+} // namespace
+} // namespace skv::kv::rdb

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "kv/resp.hpp"
+#include "sim/rng.hpp"
+
+namespace skv::kv::resp {
+namespace {
+
+/// Robustness sweeps: the parsers face bytes from the network, so they
+/// must never crash, hang, or mis-signal on arbitrary input, and must
+/// always make progress (consume bytes or ask for more).
+
+class RespFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RespFuzzTest, RequestParserSurvivesRandomBytes) {
+    sim::Rng rng(GetParam());
+    RequestParser p;
+    std::vector<std::string> argv;
+    std::string err;
+    for (int round = 0; round < 2000; ++round) {
+        std::string junk;
+        const auto len = rng.next_below(64) + 1;
+        for (std::size_t i = 0; i < len; ++i) {
+            // Bias toward protocol-significant bytes to reach deep states.
+            const char interesting[] = "*$:+-\r\n0123456789abc \"'";
+            junk.push_back(rng.next_bool(0.7)
+                               ? interesting[rng.next_below(sizeof(interesting) - 1)]
+                               : static_cast<char>(rng.next_u64()));
+        }
+        p.feed(junk);
+        // Drain until the parser stalls; a protocol error resets the state
+        // (a real server would close the connection).
+        for (int guard = 0; guard < 10'000; ++guard) {
+            const auto st = p.next(&argv, &err);
+            if (st == Status::kNeedMore) break;
+            if (st == Status::kError) {
+                p.reset();
+                break;
+            }
+            ASSERT_FALSE(argv.empty());
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(RespFuzzTest, ReplyParserSurvivesRandomBytes) {
+    sim::Rng rng(GetParam() ^ 0x5A5A);
+    ReplyParser p;
+    Value v;
+    for (int round = 0; round < 2000; ++round) {
+        std::string junk;
+        const auto len = rng.next_below(64) + 1;
+        for (std::size_t i = 0; i < len; ++i) {
+            const char interesting[] = "*$:+-\r\n0123456789abc";
+            junk.push_back(rng.next_bool(0.7)
+                               ? interesting[rng.next_below(sizeof(interesting) - 1)]
+                               : static_cast<char>(rng.next_u64()));
+        }
+        p.feed(junk);
+        for (int guard = 0; guard < 10'000; ++guard) {
+            const auto st = p.next(&v);
+            if (st == Status::kNeedMore) break;
+            if (st == Status::kError) {
+                p.reset();
+                break;
+            }
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(RespFuzzTest, ValidCommandsSurviveArbitraryChunking) {
+    // Encode a pipeline of valid commands, then feed it in random-sized
+    // chunks: every command must come out intact and in order.
+    sim::Rng rng(GetParam() ^ 0xC0FFEE);
+    std::vector<std::vector<std::string>> cmds;
+    std::string wire;
+    for (int i = 0; i < 50; ++i) {
+        std::vector<std::string> argv{"SET", "key:" + std::to_string(i)};
+        std::string value;
+        const auto len = rng.next_below(100);
+        for (std::size_t b = 0; b < len; ++b) {
+            value.push_back(static_cast<char>(rng.next_u64()));
+        }
+        argv.push_back(value);
+        wire += command(argv);
+        cmds.push_back(std::move(argv));
+    }
+
+    RequestParser p;
+    std::size_t fed = 0;
+    std::size_t parsed = 0;
+    std::vector<std::string> argv;
+    while (fed < wire.size() || parsed < cmds.size()) {
+        if (fed < wire.size()) {
+            const auto n = std::min<std::size_t>(rng.next_below(40) + 1,
+                                                 wire.size() - fed);
+            p.feed(wire.substr(fed, n));
+            fed += n;
+        }
+        for (;;) {
+            const auto st = p.next(&argv);
+            if (st != Status::kOk) {
+                ASSERT_EQ(st, Status::kNeedMore);
+                break;
+            }
+            ASSERT_LT(parsed, cmds.size());
+            ASSERT_EQ(argv, cmds[parsed]);
+            ++parsed;
+        }
+    }
+    EXPECT_EQ(parsed, cmds.size());
+}
+
+TEST_P(RespFuzzTest, NestedRepliesSurviveChunking) {
+    sim::Rng rng(GetParam() ^ 0xBEEF);
+    // Build a deep-ish but legal reply and a few flat ones.
+    std::string wire = array_header(3) + integer(1) +
+                       (array_header(2) + bulk("x") + null_bulk()) +
+                       simple("OK");
+    wire += error("ERR nope") + bulk(std::string(1000, 'z'));
+
+    ReplyParser p;
+    std::size_t fed = 0;
+    int values = 0;
+    Value v;
+    while (fed < wire.size() || values < 3) {
+        if (fed < wire.size()) {
+            const auto n = std::min<std::size_t>(rng.next_below(7) + 1,
+                                                 wire.size() - fed);
+            p.feed(wire.substr(fed, n));
+            fed += n;
+        }
+        for (;;) {
+            const auto st = p.next(&v);
+            if (st != Status::kOk) {
+                ASSERT_EQ(st, Status::kNeedMore);
+                break;
+            }
+            ++values;
+        }
+        if (fed >= wire.size() && values >= 3) break;
+    }
+    EXPECT_EQ(values, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RespFuzzTest,
+                         ::testing::Values(1u, 42u, 777u, 31337u));
+
+} // namespace
+} // namespace skv::kv::resp

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "kv/skiplist.hpp"
+#include "sim/rng.hpp"
+
+namespace skv::kv {
+namespace {
+
+Sds m(int i) { return Sds("m" + std::to_string(i)); }
+
+TEST(SkipList, EmptyInvariants) {
+    SkipList sl;
+    EXPECT_EQ(sl.size(), 0u);
+    EXPECT_EQ(sl.head(), nullptr);
+    EXPECT_EQ(sl.tail(), nullptr);
+    EXPECT_TRUE(sl.check_invariants());
+}
+
+TEST(SkipList, InsertOrdering) {
+    SkipList sl;
+    sl.insert(3.0, m(3));
+    sl.insert(1.0, m(1));
+    sl.insert(2.0, m(2));
+    ASSERT_EQ(sl.size(), 3u);
+    const auto* n = sl.head();
+    EXPECT_DOUBLE_EQ(n->score, 1.0);
+    EXPECT_DOUBLE_EQ(n->level[0].forward->score, 2.0);
+    EXPECT_DOUBLE_EQ(sl.tail()->score, 3.0);
+    std::string why;
+    EXPECT_TRUE(sl.check_invariants(&why)) << why;
+}
+
+TEST(SkipList, SameScoreOrderedByMember) {
+    SkipList sl;
+    sl.insert(1.0, Sds("b"));
+    sl.insert(1.0, Sds("a"));
+    sl.insert(1.0, Sds("c"));
+    EXPECT_EQ(sl.head()->member.view(), "a");
+    EXPECT_EQ(sl.tail()->member.view(), "c");
+}
+
+TEST(SkipList, EraseExisting) {
+    SkipList sl;
+    for (int i = 0; i < 10; ++i) sl.insert(i, m(i));
+    EXPECT_TRUE(sl.erase(5.0, m(5)));
+    EXPECT_EQ(sl.size(), 9u);
+    EXPECT_EQ(sl.rank(5.0, m(5)), 0u);
+    std::string why;
+    EXPECT_TRUE(sl.check_invariants(&why)) << why;
+}
+
+TEST(SkipList, EraseMissing) {
+    SkipList sl;
+    sl.insert(1.0, m(1));
+    EXPECT_FALSE(sl.erase(2.0, m(2)));
+    EXPECT_FALSE(sl.erase(1.0, m(99))); // right score, wrong member
+    EXPECT_FALSE(sl.erase(9.0, m(1)));  // right member, wrong score
+}
+
+TEST(SkipList, RankIsOneBased) {
+    SkipList sl;
+    for (int i = 0; i < 100; ++i) sl.insert(i, m(i));
+    EXPECT_EQ(sl.rank(0.0, m(0)), 1u);
+    EXPECT_EQ(sl.rank(50.0, m(50)), 51u);
+    EXPECT_EQ(sl.rank(99.0, m(99)), 100u);
+    EXPECT_EQ(sl.rank(1000.0, m(1000)), 0u); // absent
+}
+
+TEST(SkipList, AtRank) {
+    SkipList sl;
+    for (int i = 0; i < 100; ++i) sl.insert(i, m(i));
+    EXPECT_EQ(sl.at_rank(1)->member.view(), "m0");
+    EXPECT_EQ(sl.at_rank(100)->member.view(), "m99");
+    EXPECT_EQ(sl.at_rank(0), nullptr);
+    EXPECT_EQ(sl.at_rank(101), nullptr);
+    for (std::size_t r = 1; r <= 100; r += 7) {
+        const auto* n = sl.at_rank(r);
+        ASSERT_NE(n, nullptr);
+        EXPECT_EQ(sl.rank(n->score, n->member), r);
+    }
+}
+
+TEST(SkipList, FirstInRange) {
+    SkipList sl;
+    for (int i = 0; i < 10; ++i) sl.insert(i * 10, m(i));
+    EXPECT_DOUBLE_EQ(sl.first_in_range(25, false)->score, 30.0);
+    EXPECT_DOUBLE_EQ(sl.first_in_range(30, false)->score, 30.0);
+    EXPECT_DOUBLE_EQ(sl.first_in_range(30, true)->score, 40.0);
+    EXPECT_EQ(sl.first_in_range(1000, false), nullptr);
+}
+
+TEST(SkipList, UpdateScoreInPlace) {
+    SkipList sl;
+    sl.insert(1.0, m(1));
+    sl.insert(2.0, m(2));
+    sl.insert(3.0, m(3));
+    // 2 -> 2.5 stays between neighbours: in-place update.
+    sl.update_score(2.0, m(2), 2.5);
+    EXPECT_EQ(sl.rank(2.5, m(2)), 2u);
+    EXPECT_TRUE(sl.check_invariants());
+}
+
+TEST(SkipList, UpdateScoreMoves) {
+    SkipList sl;
+    sl.insert(1.0, m(1));
+    sl.insert(2.0, m(2));
+    sl.insert(3.0, m(3));
+    sl.update_score(1.0, m(1), 10.0);
+    EXPECT_EQ(sl.rank(10.0, m(1)), 3u);
+    EXPECT_EQ(sl.tail()->member.view(), "m1");
+    EXPECT_TRUE(sl.check_invariants());
+}
+
+/// Property check against std::multimap ordered by (score, member).
+class SkipListModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkipListModelTest, MatchesOrderedModel) {
+    sim::Rng rng(GetParam());
+    SkipList sl(GetParam());
+    std::map<std::pair<double, std::string>, bool> model;
+
+    for (int step = 0; step < 5000; ++step) {
+        const int k = static_cast<int>(rng.next_below(200));
+        const double score = static_cast<double>(rng.next_below(50));
+        const auto mk = std::make_pair(score, m(k).str());
+        if (rng.next_bool(0.6)) {
+            if (!model.contains(mk)) {
+                sl.insert(score, m(k));
+                model[mk] = true;
+            }
+        } else {
+            const bool a = sl.erase(score, m(k));
+            const bool b = model.erase(mk) > 0;
+            ASSERT_EQ(a, b);
+        }
+        ASSERT_EQ(sl.size(), model.size());
+    }
+    std::string why;
+    ASSERT_TRUE(sl.check_invariants(&why)) << why;
+
+    // Full order agreement + rank agreement.
+    std::size_t r = 1;
+    const SkipList::Node* n = sl.head();
+    for (const auto& [key, unused] : model) {
+        ASSERT_NE(n, nullptr);
+        ASSERT_DOUBLE_EQ(n->score, key.first);
+        ASSERT_EQ(n->member.view(), key.second);
+        ASSERT_EQ(sl.rank(key.first, Sds(key.second)), r);
+        ASSERT_EQ(sl.at_rank(r), n);
+        n = n->level[0].forward;
+        ++r;
+    }
+    EXPECT_EQ(n, nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListModelTest,
+                         ::testing::Values(3u, 1729u, 55555u));
+
+} // namespace
+} // namespace skv::kv

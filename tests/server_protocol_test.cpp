@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "server/protocol.hpp"
+
+namespace skv::server {
+namespace {
+
+TEST(NodeMsg, RoundTripAllTypes) {
+    for (const auto type :
+         {NodeMsg::Type::kInitSync, NodeMsg::Type::kSyncNotify,
+          NodeMsg::Type::kFullSync, NodeMsg::Type::kBacklog,
+          NodeMsg::Type::kReplData, NodeMsg::Type::kAck, NodeMsg::Type::kProbe,
+          NodeMsg::Type::kProbeAck, NodeMsg::Type::kResyncRequest,
+          NodeMsg::Type::kPromote, NodeMsg::Type::kDemote, NodeMsg::Type::kSync,
+          NodeMsg::Type::kSlaveCount}) {
+        NodeMsg m{type, 0x1122334455667788LL, "payload bytes"};
+        const auto decoded = NodeMsg::decode(m.encode());
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->type, type);
+        EXPECT_EQ(decoded->field, 0x1122334455667788LL);
+        EXPECT_EQ(decoded->body, "payload bytes");
+    }
+}
+
+TEST(NodeMsg, NegativeField) {
+    NodeMsg m{NodeMsg::Type::kAck, -42, ""};
+    const auto d = NodeMsg::decode(m.encode());
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->field, -42);
+}
+
+TEST(NodeMsg, BinaryBody) {
+    std::string body;
+    for (int i = 0; i < 256; ++i) body.push_back(static_cast<char>(i));
+    NodeMsg m{NodeMsg::Type::kFullSync, 7, body};
+    const auto d = NodeMsg::decode(m.encode());
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->body, body);
+}
+
+TEST(NodeMsg, EmptyBody) {
+    NodeMsg m{NodeMsg::Type::kProbe, 3, ""};
+    const auto wire = m.encode();
+    EXPECT_EQ(wire.size(), 9u);
+    const auto d = NodeMsg::decode(wire);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->body.empty());
+}
+
+TEST(NodeMsg, TooShortRejected) {
+    EXPECT_FALSE(NodeMsg::decode("").has_value());
+    EXPECT_FALSE(NodeMsg::decode("R1234567").has_value()); // 8 bytes
+}
+
+TEST(NodeMsg, UnknownTagRejected) {
+    std::string wire = NodeMsg{NodeMsg::Type::kProbe, 0, ""}.encode();
+    wire[0] = 'z';
+    EXPECT_FALSE(NodeMsg::decode(wire).has_value());
+}
+
+} // namespace
+} // namespace skv::server

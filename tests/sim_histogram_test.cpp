@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/histogram.hpp"
+#include "sim/rng.hpp"
+
+namespace skv::sim {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min_ns(), 0);
+    EXPECT_EQ(h.max_ns(), 0);
+    EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+    EXPECT_EQ(h.p99_ns(), 0);
+}
+
+TEST(Histogram, SingleSample) {
+    LatencyHistogram h;
+    h.record_ns(1234);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min_ns(), 1234);
+    EXPECT_EQ(h.max_ns(), 1234);
+    EXPECT_DOUBLE_EQ(h.mean_ns(), 1234.0);
+    // One sample: every quantile is that sample (within bucket error).
+    EXPECT_NEAR(static_cast<double>(h.p50_ns()), 1234, 1234 * 0.04);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+    LatencyHistogram h;
+    h.record_ns(-5);
+    EXPECT_EQ(h.min_ns(), 0);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, ExactMeanAndExtremes) {
+    LatencyHistogram h;
+    for (int i = 1; i <= 100; ++i) h.record_ns(i * 1000);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.min_ns(), 1000);
+    EXPECT_EQ(h.max_ns(), 100'000);
+    EXPECT_DOUBLE_EQ(h.mean_ns(), 50'500.0);
+}
+
+TEST(Histogram, QuantileWithinRelativeError) {
+    LatencyHistogram h;
+    std::vector<std::int64_t> vals;
+    Rng rng(5);
+    for (int i = 0; i < 50'000; ++i) {
+        const auto v = static_cast<std::int64_t>(rng.next_below(10'000'000)) + 1;
+        vals.push_back(v);
+        h.record_ns(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        const auto exact =
+            vals[static_cast<std::size_t>(q * static_cast<double>(vals.size() - 1))];
+        const auto approx = h.quantile_ns(q);
+        EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                    static_cast<double>(exact) * 0.05)
+            << "q=" << q;
+    }
+}
+
+TEST(Histogram, QuantileMonotonicInQ) {
+    LatencyHistogram h;
+    Rng rng(6);
+    for (int i = 0; i < 10'000; ++i) {
+        h.record_ns(static_cast<std::int64_t>(rng.next_below(1'000'000)));
+    }
+    std::int64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const auto v = h.quantile_ns(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+    LatencyHistogram h;
+    h.record_ns(777);
+    h.record_ns(999'999);
+    EXPECT_LE(h.quantile_ns(1.0), h.max_ns());
+}
+
+TEST(Histogram, MergeMatchesCombined) {
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram both;
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        const auto v = static_cast<std::int64_t>(rng.next_below(5'000'000));
+        if (i % 2 == 0) {
+            a.record_ns(v);
+        } else {
+            b.record_ns(v);
+        }
+        both.record_ns(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.min_ns(), both.min_ns());
+    EXPECT_EQ(a.max_ns(), both.max_ns());
+    EXPECT_DOUBLE_EQ(a.mean_ns(), both.mean_ns());
+    EXPECT_EQ(a.p99_ns(), both.p99_ns());
+}
+
+TEST(Histogram, ClearResets) {
+    LatencyHistogram h;
+    h.record_ns(5000);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max_ns(), 0);
+    h.record_ns(10);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.max_ns(), 10);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflow) {
+    LatencyHistogram h;
+    h.record_ns(INT64_MAX / 2);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GT(h.quantile_ns(0.5), INT64_MAX / 4);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+    LatencyHistogram h;
+    h.record(microseconds(10));
+    EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace skv::sim

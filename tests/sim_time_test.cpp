@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace skv::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+    EXPECT_EQ(SimTime().ns(), 0);
+    EXPECT_EQ(SimTime::zero().ns(), 0);
+}
+
+TEST(SimTime, UnitConversions) {
+    const SimTime t(1'500'000'000);
+    EXPECT_DOUBLE_EQ(t.us(), 1'500'000.0);
+    EXPECT_DOUBLE_EQ(t.ms(), 1'500.0);
+    EXPECT_DOUBLE_EQ(t.sec(), 1.5);
+}
+
+TEST(SimTime, Ordering) {
+    EXPECT_LT(SimTime(1), SimTime(2));
+    EXPECT_EQ(SimTime(5), SimTime(5));
+    EXPECT_GT(SimTime::max(), SimTime(1'000'000'000));
+}
+
+TEST(Duration, Constructors) {
+    EXPECT_EQ(nanoseconds(42).ns(), 42);
+    EXPECT_EQ(microseconds(3).ns(), 3'000);
+    EXPECT_EQ(milliseconds(2).ns(), 2'000'000);
+    EXPECT_EQ(seconds(1).ns(), 1'000'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+    EXPECT_EQ((microseconds(2) + microseconds(3)).ns(), 5'000);
+    EXPECT_EQ((microseconds(5) - microseconds(3)).ns(), 2'000);
+    EXPECT_EQ((microseconds(2) * 4).ns(), 8'000);
+    EXPECT_EQ((microseconds(8) / 2).ns(), 4'000);
+    Duration d = microseconds(1);
+    d += nanoseconds(500);
+    EXPECT_EQ(d.ns(), 1'500);
+    d -= nanoseconds(500);
+    EXPECT_EQ(d.ns(), 1'000);
+}
+
+TEST(Duration, ScaledRoundsToNearest) {
+    EXPECT_EQ(nanoseconds(100).scaled(2.5).ns(), 250);
+    EXPECT_EQ(nanoseconds(3).scaled(0.5).ns(), 2); // 1.5 rounds to 2
+    EXPECT_EQ(nanoseconds(1000).scaled(1.0).ns(), 1000);
+}
+
+TEST(TimeDuration, MixedArithmetic) {
+    const SimTime t = SimTime(1'000) + microseconds(1);
+    EXPECT_EQ(t.ns(), 2'000);
+    EXPECT_EQ((t - SimTime(500)).ns(), 1'500);
+    EXPECT_EQ((t - microseconds(1)).ns(), 1'000);
+}
+
+TEST(TimeFormat, HumanReadable) {
+    EXPECT_EQ(to_string(SimTime(999)), "999ns");
+    EXPECT_EQ(to_string(nanoseconds(42)), "42ns");
+    EXPECT_NE(to_string(microseconds(500)).find("us"), std::string::npos);
+    EXPECT_NE(to_string(milliseconds(50)).find("ms"), std::string::npos);
+    EXPECT_NE(to_string(seconds(20)).find("s"), std::string::npos);
+}
+
+} // namespace
+} // namespace skv::sim
