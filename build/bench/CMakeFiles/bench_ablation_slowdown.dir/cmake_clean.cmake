@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slowdown.dir/bench_ablation_slowdown.cpp.o"
+  "CMakeFiles/bench_ablation_slowdown.dir/bench_ablation_slowdown.cpp.o.d"
+  "bench_ablation_slowdown"
+  "bench_ablation_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

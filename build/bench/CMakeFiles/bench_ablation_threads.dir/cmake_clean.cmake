@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_threads.dir/bench_ablation_threads.cpp.o"
+  "CMakeFiles/bench_ablation_threads.dir/bench_ablation_threads.cpp.o.d"
+  "bench_ablation_threads"
+  "bench_ablation_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

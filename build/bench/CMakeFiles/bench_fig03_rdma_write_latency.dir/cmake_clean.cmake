@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_rdma_write_latency.dir/bench_fig03_rdma_write_latency.cpp.o"
+  "CMakeFiles/bench_fig03_rdma_write_latency.dir/bench_fig03_rdma_write_latency.cpp.o.d"
+  "bench_fig03_rdma_write_latency"
+  "bench_fig03_rdma_write_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_rdma_write_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_slave_degradation.dir/bench_fig07_slave_degradation.cpp.o"
+  "CMakeFiles/bench_fig07_slave_degradation.dir/bench_fig07_slave_degradation.cpp.o.d"
+  "bench_fig07_slave_degradation"
+  "bench_fig07_slave_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_slave_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

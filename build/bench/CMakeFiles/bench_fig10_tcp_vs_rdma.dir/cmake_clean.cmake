@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tcp_vs_rdma.dir/bench_fig10_tcp_vs_rdma.cpp.o"
+  "CMakeFiles/bench_fig10_tcp_vs_rdma.dir/bench_fig10_tcp_vs_rdma.cpp.o.d"
+  "bench_fig10_tcp_vs_rdma"
+  "bench_fig10_tcp_vs_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tcp_vs_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_tcp_vs_rdma.
+# This may be replaced when dependencies are built.

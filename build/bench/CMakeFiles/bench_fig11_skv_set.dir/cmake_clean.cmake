@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_skv_set.dir/bench_fig11_skv_set.cpp.o"
+  "CMakeFiles/bench_fig11_skv_set.dir/bench_fig11_skv_set.cpp.o.d"
+  "bench_fig11_skv_set"
+  "bench_fig11_skv_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_skv_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_skv_get.dir/bench_fig13_skv_get.cpp.o"
+  "CMakeFiles/bench_fig13_skv_get.dir/bench_fig13_skv_get.cpp.o.d"
+  "bench_fig13_skv_get"
+  "bench_fig13_skv_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_skv_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_availability.dir/bench_fig14_availability.cpp.o"
+  "CMakeFiles/bench_fig14_availability.dir/bench_fig14_availability.cpp.o.d"
+  "bench_fig14_availability"
+  "bench_fig14_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_shell.dir/kv_shell.cpp.o"
+  "CMakeFiles/kv_shell.dir/kv_shell.cpp.o.d"
+  "kv_shell"
+  "kv_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

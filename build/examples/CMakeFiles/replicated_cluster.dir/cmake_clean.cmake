@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_cluster.dir/replicated_cluster.cpp.o"
+  "CMakeFiles/replicated_cluster.dir/replicated_cluster.cpp.o.d"
+  "replicated_cluster"
+  "replicated_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

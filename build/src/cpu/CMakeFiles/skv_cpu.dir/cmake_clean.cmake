@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skv_cpu.dir/core.cpp.o"
+  "CMakeFiles/skv_cpu.dir/core.cpp.o.d"
+  "libskv_cpu.a"
+  "libskv_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skv_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

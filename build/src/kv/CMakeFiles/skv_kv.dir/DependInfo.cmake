@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/backlog.cpp" "src/kv/CMakeFiles/skv_kv.dir/backlog.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/backlog.cpp.o.d"
+  "/root/repo/src/kv/command.cpp" "src/kv/CMakeFiles/skv_kv.dir/command.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/command.cpp.o.d"
+  "/root/repo/src/kv/commands_bits.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_bits.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_bits.cpp.o.d"
+  "/root/repo/src/kv/commands_hash.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_hash.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_hash.cpp.o.d"
+  "/root/repo/src/kv/commands_keys.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_keys.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_keys.cpp.o.d"
+  "/root/repo/src/kv/commands_list.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_list.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_list.cpp.o.d"
+  "/root/repo/src/kv/commands_scan.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_scan.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_scan.cpp.o.d"
+  "/root/repo/src/kv/commands_server.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_server.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_server.cpp.o.d"
+  "/root/repo/src/kv/commands_set.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_set.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_set.cpp.o.d"
+  "/root/repo/src/kv/commands_string.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_string.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_string.cpp.o.d"
+  "/root/repo/src/kv/commands_zset.cpp" "src/kv/CMakeFiles/skv_kv.dir/commands_zset.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/commands_zset.cpp.o.d"
+  "/root/repo/src/kv/db.cpp" "src/kv/CMakeFiles/skv_kv.dir/db.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/db.cpp.o.d"
+  "/root/repo/src/kv/dict.cpp" "src/kv/CMakeFiles/skv_kv.dir/dict.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/dict.cpp.o.d"
+  "/root/repo/src/kv/intset.cpp" "src/kv/CMakeFiles/skv_kv.dir/intset.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/intset.cpp.o.d"
+  "/root/repo/src/kv/object.cpp" "src/kv/CMakeFiles/skv_kv.dir/object.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/object.cpp.o.d"
+  "/root/repo/src/kv/rdb.cpp" "src/kv/CMakeFiles/skv_kv.dir/rdb.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/rdb.cpp.o.d"
+  "/root/repo/src/kv/resp.cpp" "src/kv/CMakeFiles/skv_kv.dir/resp.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/resp.cpp.o.d"
+  "/root/repo/src/kv/sds.cpp" "src/kv/CMakeFiles/skv_kv.dir/sds.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/sds.cpp.o.d"
+  "/root/repo/src/kv/skiplist.cpp" "src/kv/CMakeFiles/skv_kv.dir/skiplist.cpp.o" "gcc" "src/kv/CMakeFiles/skv_kv.dir/skiplist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/skv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skv_net.dir/fabric.cpp.o"
+  "CMakeFiles/skv_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/skv_net.dir/tcp.cpp.o"
+  "CMakeFiles/skv_net.dir/tcp.cpp.o.d"
+  "libskv_net.a"
+  "libskv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

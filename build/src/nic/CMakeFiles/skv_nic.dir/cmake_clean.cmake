@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skv_nic.dir/smartnic.cpp.o"
+  "CMakeFiles/skv_nic.dir/smartnic.cpp.o.d"
+  "libskv_nic.a"
+  "libskv_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skv_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

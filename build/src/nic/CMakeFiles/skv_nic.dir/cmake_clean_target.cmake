@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskv_nic.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/cm.cpp" "src/rdma/CMakeFiles/skv_rdma.dir/cm.cpp.o" "gcc" "src/rdma/CMakeFiles/skv_rdma.dir/cm.cpp.o.d"
+  "/root/repo/src/rdma/ring_channel.cpp" "src/rdma/CMakeFiles/skv_rdma.dir/ring_channel.cpp.o" "gcc" "src/rdma/CMakeFiles/skv_rdma.dir/ring_channel.cpp.o.d"
+  "/root/repo/src/rdma/verbs.cpp" "src/rdma/CMakeFiles/skv_rdma.dir/verbs.cpp.o" "gcc" "src/rdma/CMakeFiles/skv_rdma.dir/verbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/skv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/skv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skv_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

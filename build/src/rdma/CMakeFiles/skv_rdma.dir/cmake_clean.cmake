@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skv_rdma.dir/cm.cpp.o"
+  "CMakeFiles/skv_rdma.dir/cm.cpp.o.d"
+  "CMakeFiles/skv_rdma.dir/ring_channel.cpp.o"
+  "CMakeFiles/skv_rdma.dir/ring_channel.cpp.o.d"
+  "CMakeFiles/skv_rdma.dir/verbs.cpp.o"
+  "CMakeFiles/skv_rdma.dir/verbs.cpp.o.d"
+  "libskv_rdma.a"
+  "libskv_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skv_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skv_server.dir/kv_server.cpp.o"
+  "CMakeFiles/skv_server.dir/kv_server.cpp.o.d"
+  "CMakeFiles/skv_server.dir/protocol.cpp.o"
+  "CMakeFiles/skv_server.dir/protocol.cpp.o.d"
+  "libskv_server.a"
+  "libskv_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skv_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skv_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/skv_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/skv_sim.dir/histogram.cpp.o"
+  "CMakeFiles/skv_sim.dir/histogram.cpp.o.d"
+  "CMakeFiles/skv_sim.dir/rng.cpp.o"
+  "CMakeFiles/skv_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/skv_sim.dir/simulation.cpp.o"
+  "CMakeFiles/skv_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/skv_sim.dir/stats.cpp.o"
+  "CMakeFiles/skv_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/skv_sim.dir/time.cpp.o"
+  "CMakeFiles/skv_sim.dir/time.cpp.o.d"
+  "CMakeFiles/skv_sim.dir/trace.cpp.o"
+  "CMakeFiles/skv_sim.dir/trace.cpp.o.d"
+  "libskv_sim.a"
+  "libskv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

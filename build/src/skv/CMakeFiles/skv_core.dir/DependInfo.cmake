@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skv/cluster.cpp" "src/skv/CMakeFiles/skv_core.dir/cluster.cpp.o" "gcc" "src/skv/CMakeFiles/skv_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/skv/nic_kv.cpp" "src/skv/CMakeFiles/skv_core.dir/nic_kv.cpp.o" "gcc" "src/skv/CMakeFiles/skv_core.dir/nic_kv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/skv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/skv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/skv_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/skv_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/skv_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/skv_server.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skv_core.dir/cluster.cpp.o"
+  "CMakeFiles/skv_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/skv_core.dir/nic_kv.cpp.o"
+  "CMakeFiles/skv_core.dir/nic_kv.cpp.o.d"
+  "libskv_core.a"
+  "libskv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

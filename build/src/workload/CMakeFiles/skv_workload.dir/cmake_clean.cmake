@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skv_workload.dir/client.cpp.o"
+  "CMakeFiles/skv_workload.dir/client.cpp.o.d"
+  "CMakeFiles/skv_workload.dir/generator.cpp.o"
+  "CMakeFiles/skv_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/skv_workload.dir/runner.cpp.o"
+  "CMakeFiles/skv_workload.dir/runner.cpp.o.d"
+  "libskv_workload.a"
+  "libskv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

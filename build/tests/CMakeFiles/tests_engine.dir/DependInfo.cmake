@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kv_backlog_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_backlog_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_backlog_test.cpp.o.d"
+  "/root/repo/tests/kv_bits_command_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_bits_command_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_bits_command_test.cpp.o.d"
+  "/root/repo/tests/kv_command_edge_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_command_edge_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_command_edge_test.cpp.o.d"
+  "/root/repo/tests/kv_command_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_command_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_command_test.cpp.o.d"
+  "/root/repo/tests/kv_db_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_db_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_db_test.cpp.o.d"
+  "/root/repo/tests/kv_dict_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_dict_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_dict_test.cpp.o.d"
+  "/root/repo/tests/kv_intset_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_intset_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_intset_test.cpp.o.d"
+  "/root/repo/tests/kv_object_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_object_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_object_test.cpp.o.d"
+  "/root/repo/tests/kv_rdb_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_rdb_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_rdb_test.cpp.o.d"
+  "/root/repo/tests/kv_resp_fuzz_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_resp_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_resp_fuzz_test.cpp.o.d"
+  "/root/repo/tests/kv_resp_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_resp_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_resp_test.cpp.o.d"
+  "/root/repo/tests/kv_scan_command_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_scan_command_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_scan_command_test.cpp.o.d"
+  "/root/repo/tests/kv_sds_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_sds_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_sds_test.cpp.o.d"
+  "/root/repo/tests/kv_skiplist_test.cpp" "tests/CMakeFiles/tests_engine.dir/kv_skiplist_test.cpp.o" "gcc" "tests/CMakeFiles/tests_engine.dir/kv_skiplist_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/skv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/skv/CMakeFiles/skv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/skv_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/skv_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/skv_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/skv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/skv_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

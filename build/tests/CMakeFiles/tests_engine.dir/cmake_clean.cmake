@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_engine.dir/kv_backlog_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_backlog_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_bits_command_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_bits_command_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_command_edge_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_command_edge_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_command_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_command_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_db_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_db_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_dict_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_dict_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_intset_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_intset_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_object_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_object_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_rdb_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_rdb_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_resp_fuzz_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_resp_fuzz_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_resp_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_resp_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_scan_command_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_scan_command_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_sds_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_sds_test.cpp.o.d"
+  "CMakeFiles/tests_engine.dir/kv_skiplist_test.cpp.o"
+  "CMakeFiles/tests_engine.dir/kv_skiplist_test.cpp.o.d"
+  "tests_engine"
+  "tests_engine.pdb"
+  "tests_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/tests_integration.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/figures_regression_test.cpp" "tests/CMakeFiles/tests_integration.dir/figures_regression_test.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/figures_regression_test.cpp.o.d"
+  "/root/repo/tests/skv_cluster_test.cpp" "tests/CMakeFiles/tests_integration.dir/skv_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/skv_cluster_test.cpp.o.d"
+  "/root/repo/tests/skv_lag_test.cpp" "tests/CMakeFiles/tests_integration.dir/skv_lag_test.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/skv_lag_test.cpp.o.d"
+  "/root/repo/tests/skv_nic_kv_test.cpp" "tests/CMakeFiles/tests_integration.dir/skv_nic_kv_test.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/skv_nic_kv_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/tests_integration.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/tests_integration.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/skv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/skv/CMakeFiles/skv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/skv_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/skv_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/skv_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/skv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/skv_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

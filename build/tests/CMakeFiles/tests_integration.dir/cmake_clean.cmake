@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/determinism_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/determinism_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/figures_regression_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/figures_regression_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/skv_cluster_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/skv_cluster_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/skv_lag_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/skv_lag_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/skv_nic_kv_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/skv_nic_kv_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/workload_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/workload_test.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_net.dir/cpu_core_test.cpp.o"
+  "CMakeFiles/tests_net.dir/cpu_core_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net_fabric_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net_fabric_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net_tcp_test.cpp.o"
+  "CMakeFiles/tests_net.dir/net_tcp_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/nic_smartnic_test.cpp.o"
+  "CMakeFiles/tests_net.dir/nic_smartnic_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/rdma_ring_test.cpp.o"
+  "CMakeFiles/tests_net.dir/rdma_ring_test.cpp.o.d"
+  "CMakeFiles/tests_net.dir/rdma_verbs_test.cpp.o"
+  "CMakeFiles/tests_net.dir/rdma_verbs_test.cpp.o.d"
+  "tests_net"
+  "tests_net.pdb"
+  "tests_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_server.dir/server_kv_server_test.cpp.o"
+  "CMakeFiles/tests_server.dir/server_kv_server_test.cpp.o.d"
+  "CMakeFiles/tests_server.dir/server_protocol_test.cpp.o"
+  "CMakeFiles/tests_server.dir/server_protocol_test.cpp.o.d"
+  "CMakeFiles/tests_server.dir/server_replication_test.cpp.o"
+  "CMakeFiles/tests_server.dir/server_replication_test.cpp.o.d"
+  "tests_server"
+  "tests_server.pdb"
+  "tests_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/sim_event_queue_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim_event_queue_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim_histogram_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim_histogram_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim_rng_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim_rng_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim_time_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim_time_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim_trace_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim_trace_test.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_engine[1]_include.cmake")
+include("/root/repo/build/tests/tests_net[1]_include.cmake")
+include("/root/repo/build/tests/tests_server[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
