@@ -7,14 +7,49 @@
 // healthy level) and the client never notices. On recovery the invalid
 // flag is cleared and replication resumes (with a NIC-arranged partial
 // resync for the bytes missed while down).
+//
+// Two variants run back to back: the paper's clean-crash timeline, and the
+// same timeline with 1% message loss injected on every replication link
+// (NIC <-> slave and master <-> slave). The reliable node-message layer
+// retransmits through the loss, so the availability shape should survive
+// with no false failovers on the healthy slaves. A JSON summary of both
+// variants is emitted at the end for plotting.
 
 #include "bench_common.hpp"
+#include "net/fault.hpp"
 
 using namespace skv;
 using namespace skv::bench;
 
-int main() {
+namespace {
+
+struct VariantResult {
+    std::string name;
+    std::vector<double> timeline_kops;
+    double healthy = 0;
+    double min_during = 1e18;
+    unsigned long long failures = 0;
+    unsigned long long recoveries = 0;
+    unsigned long long resyncs = 0;
+    unsigned long long fault_drops = 0;
+    bool reconverged = false;
+};
+
+VariantResult run_variant(const std::string& name, double repl_drop_prob) {
     auto cluster = make_cluster(System::kSkv, 3);
+
+    if (repl_drop_prob > 0) {
+        net::FaultSpec loss;
+        loss.drop_prob = repl_drop_prob;
+        auto& faults = cluster->fabric().faults();
+        const auto nic_ep = cluster->nic_kv()->endpoint();
+        const auto master_ep = cluster->master().node().ep;
+        for (int i = 0; i < cluster->slave_count(); ++i) {
+            const auto slave_ep = cluster->slave(i).node().ep;
+            faults.set_link(nic_ep, slave_ep, loss);
+            faults.set_link(master_ep, slave_ep, loss);
+        }
+    }
 
     workload::RunOptions opts;
     opts.clients = 16;
@@ -28,38 +63,78 @@ int main() {
 
     const auto r = workload::run_workload(*cluster, opts);
 
-    print_header("Fig. 14: SKV throughput during slave failure/recovery",
+    VariantResult out;
+    out.name = name;
+    out.timeline_kops = r.timeline_kops;
+
+    print_header("Fig. 14 (" + name +
+                     "): SKV throughput during slave failure/recovery",
                  {"t(s)", "kops/s"});
-    double healthy = 0;
     for (std::size_t i = 0; i < r.timeline_kops.size(); ++i) {
         const double t = static_cast<double>(i) * 0.5;
         if (t >= 12.0) break;
         std::printf("%14.1f%14.1f\n", t, r.timeline_kops[i]);
-        if (t < 3.5) healthy = std::max(healthy, r.timeline_kops[i]);
+        if (t < 3.5) out.healthy = std::max(out.healthy, r.timeline_kops[i]);
+    }
+    for (std::size_t i = 8; i < 18 && i < r.timeline_kops.size(); ++i) {
+        out.min_during = std::min(out.min_during, r.timeline_kops[i]);
     }
 
-    double min_during = 1e18;
-    for (std::size_t i = 8; i < 18 && i < r.timeline_kops.size(); ++i) {
-        min_during = std::min(min_during, r.timeline_kops[i]);
+    auto& nic_stats = cluster->nic_kv()->stats();
+    out.failures = nic_stats.counter("failures_detected");
+    out.recoveries = nic_stats.counter("recoveries_detected");
+    out.resyncs = nic_stats.counter("resyncs_requested");
+    if (cluster->fabric().has_faults()) {
+        out.fault_drops = cluster->fabric().faults().stats().counter("drops");
     }
+
     std::printf("\nhealthy throughput ~%.0f kops/s; minimum during the "
                 "failure window %.0f kops/s (%.0f%% of healthy)\n",
-                healthy, min_during, 100.0 * min_during / healthy);
+                out.healthy, out.min_during,
+                100.0 * out.min_during / out.healthy);
     std::printf("failure detector: %llu failures detected, %llu recoveries, "
-                "%llu resyncs requested\n",
-                static_cast<unsigned long long>(
-                    cluster->nic_kv()->stats().counter("failures_detected")),
-                static_cast<unsigned long long>(
-                    cluster->nic_kv()->stats().counter("recoveries_detected")),
-                static_cast<unsigned long long>(
-                    cluster->nic_kv()->stats().counter("resyncs_requested")));
+                "%llu resyncs requested; %llu messages dropped by fault "
+                "injection\n",
+                out.failures, out.recoveries, out.resyncs, out.fault_drops);
 
-    // Drain and check the recovered slave converged again.
-    cluster->sim().run_until(cluster->sim().now() + sim::seconds(2));
+    // Drain and check the recovered slave converged again (the lossy
+    // variant gets longer: retransmission has to finish the tail).
+    cluster->sim().run_until(cluster->sim().now() +
+                             (repl_drop_prob > 0 ? sim::seconds(6)
+                                                 : sim::seconds(2)));
+    out.reconverged = cluster->slave(1).slave_applied_offset() ==
+                      cluster->master().master_offset();
     std::printf("slave1 re-converged after recovery: %s\n",
-                cluster->slave(1).slave_applied_offset() ==
-                        cluster->master().master_offset()
-                    ? "yes"
-                    : "NO");
+                out.reconverged ? "yes" : "NO");
+    return out;
+}
+
+void print_json(const std::vector<VariantResult>& variants) {
+    std::printf("\nJSON: {\"figure\":\"fig14_availability\",\"variants\":[");
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const auto& r = variants[v];
+        std::printf("%s{\"name\":\"%s\",\"healthy_kops\":%.1f,"
+                    "\"min_during_failure_kops\":%.1f,"
+                    "\"failures_detected\":%llu,\"recoveries\":%llu,"
+                    "\"resyncs\":%llu,\"fault_drops\":%llu,"
+                    "\"reconverged\":%s,\"timeline_kops\":[",
+                    v ? "," : "", r.name.c_str(), r.healthy, r.min_during,
+                    r.failures, r.recoveries, r.resyncs, r.fault_drops,
+                    r.reconverged ? "true" : "false");
+        for (std::size_t i = 0; i < r.timeline_kops.size(); ++i) {
+            std::printf("%s%.1f", i ? "," : "", r.timeline_kops[i]);
+        }
+        std::printf("]}");
+    }
+    std::printf("]}\n");
+}
+
+} // namespace
+
+int main() {
+    std::vector<VariantResult> variants;
+    variants.push_back(run_variant("clean", 0.0));
+    variants.push_back(run_variant("1% repl loss", 0.01));
+    print_json(variants);
     return 0;
 }

@@ -54,6 +54,7 @@ bool Fabric::same_port(EndpointId a, EndpointId b) const {
 void Fabric::sever(EndpointId ep) {
     assert(ep < endpoints_.size());
     endpoints_[ep].severed = true;
+    ++endpoints_[ep].sever_epoch;
 }
 
 void Fabric::restore(EndpointId ep) {
@@ -111,6 +112,32 @@ sim::SimTime Fabric::send_external(EndpointId from, EndpointId to,
     return in_done + extra;
 }
 
+FaultInjector& Fabric::faults() {
+    if (!faults_) {
+        faults_ = std::make_unique<FaultInjector>(sim_.fork_rng());
+    }
+    return *faults_;
+}
+
+void Fabric::schedule_delivery(EndpointId from, EndpointId to, sim::SimTime when,
+                               std::function<void()> cb) {
+    const std::uint64_t from_epoch = endpoints_[from].sever_epoch;
+    const std::uint64_t to_epoch = endpoints_[to].sever_epoch;
+    sim_.at(when, [this, from, to, from_epoch, to_epoch,
+                   cb = std::move(cb)]() mutable {
+        // A message is lost if either endpoint is down right now, or was cut
+        // (and possibly restored) while the message was on the wire.
+        const Endpoint& src = endpoints_[from];
+        const Endpoint& dst = endpoints_[to];
+        if (src.severed || dst.severed || src.sever_epoch != from_epoch ||
+            dst.sever_epoch != to_epoch) {
+            ++dropped_in_flight_;
+            return;
+        }
+        cb();
+    });
+}
+
 sim::SimTime Fabric::send(EndpointId from, EndpointId to, std::size_t bytes,
                           std::function<void()> on_delivered) {
     assert(from < endpoints_.size() && to < endpoints_.size());
@@ -131,9 +158,22 @@ sim::SimTime Fabric::send(EndpointId from, EndpointId to, std::size_t bytes,
         arrival = send_external(from, to, bytes);
     }
 
-    if (!dropped && on_delivered) {
-        sim_.at(arrival, std::move(on_delivered));
+    if (dropped || !on_delivered) return arrival;
+
+    if (faults_) {
+        auto decision = faults_->evaluate(from, to, sim_.now());
+        if (decision.touched) {
+            if (!decision.deliver) return arrival;
+            arrival = faults_->clamp_fifo(from, to, arrival + decision.delay);
+            if (decision.duplicate) {
+                const auto dup_at = faults_->clamp_fifo(
+                    from, to, arrival + decision.dup_delay);
+                schedule_delivery(from, to, dup_at, on_delivered);
+            }
+        }
     }
+
+    schedule_delivery(from, to, arrival, std::move(on_delivered));
     return arrival;
 }
 

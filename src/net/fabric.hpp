@@ -2,17 +2,19 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
 namespace skv::net {
 
 /// Identifies one attachment point on the fabric (a host NIC port or the
-/// SmartNIC's own endpoint behind a host port).
-using EndpointId = std::uint32_t;
+/// SmartNIC's own endpoint behind a host port). (The underlying type lives
+/// in net/fault.hpp so the injector does not depend on this header.)
 inline constexpr EndpointId kInvalidEndpoint = UINT32_MAX;
 
 /// Physical parameters of a host link to the ToR switch.
@@ -74,9 +76,23 @@ public:
     /// are silently dropped (the delivery callback never fires), modelling
     /// a crashed node: RDMA gives no immediate error, requests just time
     /// out, which is exactly why SKV needs its own failure detector.
+    /// Severing also kills messages already in flight: a frame that left
+    /// the wire before the cut must not materialize after restore().
     void sever(EndpointId ep);
     void restore(EndpointId ep);
     [[nodiscard]] bool severed(EndpointId ep) const;
+
+    /// Lazily created fault-injection plans consulted by send(). Fault-free
+    /// simulations never call this, so they draw nothing from the seed
+    /// stream and stay bit-identical with pre-fault builds.
+    FaultInjector& faults();
+    [[nodiscard]] bool has_faults() const { return faults_ != nullptr; }
+
+    /// Messages that were in flight when one of their endpoints was severed
+    /// (their delivery callback was suppressed at delivery time).
+    [[nodiscard]] std::uint64_t dropped_in_flight() const {
+        return dropped_in_flight_;
+    }
 
     [[nodiscard]] const std::string& name_of(EndpointId ep) const;
     [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
@@ -117,6 +133,9 @@ private:
         Transmitter internal_out; // host->NIC direction (owned by companion)
         Transmitter internal_in;  // NIC->host direction (owned by companion)
         bool severed = false;
+        // Bumped on every sever(): deliveries scheduled under an older epoch
+        // are dead even if the endpoint has been restored since.
+        std::uint64_t sever_epoch = 0;
     };
 
     /// Resolve which physical port (host endpoint index) carries external
@@ -127,11 +146,18 @@ private:
                                std::size_t bytes);
     sim::SimTime send_external(EndpointId from, EndpointId to, std::size_t bytes);
 
+    /// Schedule `cb` at `when`, re-checking at delivery time that neither
+    /// endpoint was severed in between (in-flight kill).
+    void schedule_delivery(EndpointId from, EndpointId to, sim::SimTime when,
+                           std::function<void()> cb);
+
     sim::Simulation& sim_;
     sim::Duration switch_latency_{sim::nanoseconds(300)};
     std::vector<Endpoint> endpoints_;
     std::uint64_t messages_ = 0;
     std::uint64_t bytes_ = 0;
+    std::uint64_t dropped_in_flight_ = 0;
+    std::unique_ptr<FaultInjector> faults_;
 };
 
 } // namespace skv::net

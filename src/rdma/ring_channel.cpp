@@ -104,6 +104,7 @@ void RingChannel::transmit(std::string payload) {
     const std::size_t len = payload.size();
     assert(len <= free_space_);
     free_space_ -= len;
+    sent_total_ += len;
     SendWr wr;
     wr.wr_id = next_wr_id_++;
     wr.op = Opcode::kWriteWithImm;
@@ -161,25 +162,63 @@ void RingChannel::handle_completion(const Completion& c) {
     assert(posted_recvs_ > 0);
     --posted_recvs_;
     if (c.has_imm) {
-        handle_data(c.imm);
+        handle_data(c);
     } else {
-        // Credit-return SEND: the peer consumed bytes from our remote ring
-        // view, and (if it had filled) re-registered its MR.
-        const std::uint64_t credited = decode_credit(c.inline_payload);
-        free_space_ = std::min(free_space_ + credited, remote_capacity_);
-        pump_backlog();
+        // Credit-return SEND carrying the peer's cumulative consumed total.
+        // Duplicates and reordered stale credits carry a lower total and are
+        // ignored; a lost credit is recovered by the next one.
+        const std::uint64_t total = decode_credit(c.inline_payload);
+        if (total > credited_total_ && total <= sent_total_) {
+            credited_total_ = total;
+            const std::uint64_t outstanding = sent_total_ - credited_total_;
+            free_space_ = remote_capacity_ -
+                          std::min<std::uint64_t>(outstanding, remote_capacity_);
+            pump_backlog();
+        }
     }
 }
 
-void RingChannel::handle_data(std::uint32_t len) {
+void RingChannel::handle_data(const Completion& c) {
+    const std::uint32_t len = c.imm;
+    const std::size_t cap = params_.ring_bytes;
+    const std::size_t off = static_cast<std::size_t>(c.remote_offset) % cap;
+    if (off != read_cursor_) {
+        // The sender wrote this frame somewhere other than our cursor. If
+        // the offset is (cyclically) behind us this is a duplicated frame we
+        // already consumed; ignore it entirely. If it is ahead, every frame
+        // in between was lost: account the hole as consumed (so the sender's
+        // window recovers), resync the cursor, and poison reassembly until
+        // the next message boundary.
+        const std::size_t gap = (off + cap - read_cursor_) % cap;
+        if (gap > cap / 2) {
+            ++stale_frames_;
+            return;
+        }
+        lost_gap_bytes_ += gap;
+        total_consumed_ += gap;
+        consumed_since_credit_ += gap;
+        batch_data_bytes_ += gap;
+        read_cursor_ = off;
+        if (!reassembly_.empty()) ++reassembly_resets_;
+        reassembly_.clear();
+        discard_until_final_ = true;
+    }
     std::string frame = recv_mr_->read_wrapped(read_cursor_, len);
-    read_cursor_ = (read_cursor_ + len) % params_.ring_bytes;
+    read_cursor_ = (read_cursor_ + len) % cap;
+    total_consumed_ += len;
     consumed_since_credit_ += len;
     batch_data_bytes_ += len;
     ++frames_received_;
     maybe_return_credits();
     if (frame.empty()) return;
     const char flag = frame[0];
+    if (discard_until_final_) {
+        // This frame may be the tail of a message whose head fell into the
+        // hole; drop up to and including the next boundary and let the
+        // reliable layer above retransmit the affected messages.
+        if (flag == kFinal) discard_until_final_ = false;
+        return;
+    }
     reassembly_.append(frame, 1, frame.size() - 1);
     if (flag != kFinal) return;
     std::string payload = std::move(reassembly_);
@@ -196,7 +235,7 @@ void RingChannel::maybe_return_credits() {
     SendWr wr;
     wr.wr_id = next_wr_id_++;
     wr.op = Opcode::kSend;
-    wr.payload = encode_credit(consumed_since_credit_);
+    wr.payload = encode_credit(total_consumed_);
     consumed_since_credit_ = 0;
     ++credit_msgs_;
     qp_->post_send(std::move(wr));

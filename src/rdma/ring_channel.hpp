@@ -61,6 +61,9 @@ public:
     [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
     [[nodiscard]] std::uint64_t credit_messages() const { return credit_msgs_; }
     [[nodiscard]] std::uint64_t mr_reregistrations() const { return reregs_; }
+    [[nodiscard]] std::uint64_t lost_gap_bytes() const { return lost_gap_bytes_; }
+    [[nodiscard]] std::uint64_t stale_frames() const { return stale_frames_; }
+    [[nodiscard]] std::uint64_t reassembly_resets() const { return reassembly_resets_; }
     [[nodiscard]] std::size_t send_window() const { return free_space_; }
     [[nodiscard]] const MemoryRegionPtr& recv_mr() const { return recv_mr_; }
     [[nodiscard]] const QueuePairPtr& qp() const { return qp_; }
@@ -87,7 +90,7 @@ private:
     void transmit(std::string payload);
     void on_cq_event();
     void handle_completion(const Completion& c);
-    void handle_data(std::uint32_t len);
+    void handle_data(const Completion& c);
     void maybe_return_credits();
 
     RdmaNetwork& net_;
@@ -102,16 +105,21 @@ private:
     QueuePairPtr qp_;
     MemoryRegionPtr recv_mr_;
 
-    // Sender state for the remote ring.
+    // Sender state for the remote ring. Credits carry the receiver's
+    // cumulative consumed-byte total, so a lost or duplicated credit frame
+    // cannot permanently shrink (or inflate) the send window.
     std::uint32_t remote_rkey_ = 0;
     std::size_t remote_capacity_ = 0;
     std::size_t write_cursor_ = 0;
     std::size_t free_space_ = 0;
+    std::uint64_t sent_total_ = 0;     // cumulative bytes pushed to peer ring
+    std::uint64_t credited_total_ = 0; // highest cumulative credit received
     std::deque<std::string> backlog_;
     std::size_t backlog_bytes_ = 0;
 
     // Receiver state for the local ring.
     std::size_t read_cursor_ = 0;
+    std::uint64_t total_consumed_ = 0; // cumulative, includes loss holes
     std::size_t consumed_since_credit_ = 0;
     std::size_t batch_data_bytes_ = 0; // data consumed by the current CQ batch
     std::size_t posted_recvs_ = 0;
@@ -119,6 +127,9 @@ private:
 
     MessageHandler on_message_;
     std::string reassembly_; // accumulates kMore fragments
+    // Set when a loss hole is detected: frames up to the next kFinal may be
+    // a tail whose head is gone, so they are consumed but not delivered.
+    bool discard_until_final_ = false;
     std::deque<std::string> pending_;
     bool open_ = true;
     bool cq_task_scheduled_ = false;
@@ -127,6 +138,9 @@ private:
     std::uint64_t frames_received_ = 0;
     std::uint64_t credit_msgs_ = 0;
     std::uint64_t reregs_ = 0;
+    std::uint64_t lost_gap_bytes_ = 0;
+    std::uint64_t stale_frames_ = 0;
+    std::uint64_t reassembly_resets_ = 0;
 };
 
 using RingChannelPtr = std::shared_ptr<RingChannel>;

@@ -281,6 +281,7 @@ void QueuePair::consume_recv(Inbound in) {
     c.has_imm = in.has_imm;
     c.imm = in.imm;
     c.byte_len = static_cast<std::uint32_t>(in.payload.size());
+    c.remote_offset = in.remote_offset;
     if (in.op == Opcode::kSend) {
         // SEND lands in the posted receive buffer.
         const std::size_t n = std::min(in.payload.size(), wqe.len);

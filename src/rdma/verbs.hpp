@@ -38,6 +38,11 @@ struct Completion {
     bool has_imm = false;
     std::uint32_t imm = 0;
     std::uint32_t byte_len = 0;
+    /// For RECV completions triggered by WRITE_WITH_IMM: the ring offset the
+    /// sender wrote to. Real receivers know this implicitly because the RC
+    /// transport never loses frames; under injected loss the ring messenger
+    /// needs it to detect holes and resynchronize its read cursor.
+    std::uint64_t remote_offset = 0;
     /// For RECV completions triggered by SEND: the received payload
     /// (already copied into the posted receive buffer; duplicated here so
     /// control-plane handlers need not track buffer offsets).

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "server/reliable.hpp"
 #include "sim/time.hpp"
 
 namespace skv::server {
@@ -42,6 +43,22 @@ struct ServerConfig {
 
     /// Active-expire sample size per cron tick.
     std::size_t expire_samples = 20;
+
+    /// Wrap every node-to-node link (replication, probes, registration) in
+    /// the sequence-numbered retransmitting layer so injected loss degrades
+    /// throughput instead of silently losing replicated writes.
+    bool reliable_node_links = true;
+    ReliableParams reliable{};
+
+    /// Retry interval for node-link connection handshakes (the CM exchange
+    /// itself rides unprotected fabric messages and can be lost).
+    sim::Duration connect_retry{sim::milliseconds(500)};
+
+    /// An SKV slave that has heard no probe from Nic-KV for this long
+    /// re-registers: a one-directional NIC->slave partition would otherwise
+    /// leave it invalid forever (it has nothing unacked, so its reliable
+    /// layer never reports the link broken).
+    sim::Duration probe_silence_timeout{sim::seconds(3)};
 };
 
 } // namespace skv::server

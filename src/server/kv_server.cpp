@@ -76,9 +76,52 @@ void KvServer::on_client_accept(net::ChannelPtr ch) {
     });
 }
 
+net::ChannelPtr KvServer::wrap_node_link(net::ChannelPtr ch) {
+    if (!cfg_.reliable_node_links || !ch) return ch;
+    auto rel = ReliableChannel::wrap(sim_, std::move(ch), cfg_.reliable);
+    const net::Channel* raw = rel.get();
+    rel->set_on_broken([this, raw]() { on_node_link_broken(raw); });
+    return rel;
+}
+
+void KvServer::on_node_link_broken(const net::Channel* raw) {
+    stats_.incr("node_links_broken");
+    if (crashed_) return;
+    // A master's link to a baseline slave: stop feeding it; a later kSync
+    // re-registration revalidates it.
+    for (auto& s : slaves_) {
+        if (s.channel.get() == raw && s.valid) {
+            s.valid = false;
+            if (!cfg_.offload_replication) {
+                available_slaves_ = 0;
+                for (const auto& t : slaves_) {
+                    if (t.valid) ++available_slaves_;
+                }
+            }
+        }
+    }
+    if (master_link_ && master_link_.get() == raw) master_link_.reset();
+    // SKV links to the local Nic-KV: dial again (the attempt counter makes
+    // a superseded reconnect harmless).
+    if (nic_link_ && nic_link_.get() == raw) {
+        nic_link_.reset();
+        nic_attached_ = false;
+        if (cfg_.offload_replication && skv_nic_ep_ != net::kInvalidEndpoint) {
+            attach_nic(skv_nic_ep_, skv_nic_port_);
+        }
+        return;
+    }
+    if (nic_registration_ && nic_registration_.get() == raw) {
+        nic_registration_.reset();
+        if (role_ == Role::kSlave && skv_nic_ep_ != net::kInvalidEndpoint) {
+            slaveof_skv(skv_nic_ep_, skv_nic_port_);
+        }
+    }
+}
+
 void KvServer::on_node_accept(net::ChannelPtr ch) {
     auto conn = std::make_shared<ClientConn>();
-    conn->channel = std::move(ch);
+    conn->channel = wrap_node_link(std::move(ch));
     conn->node_link = true;
     clients_.push_back(conn);
     stats_.incr("node_links_accepted");
@@ -126,13 +169,15 @@ sim::Duration KvServer::command_cost(const std::vector<std::string>& argv,
     return cost;
 }
 
-bool KvServer::write_allowed(std::string* err) const {
+bool KvServer::write_allowed(std::string* err, const char** reason) const {
     if (role_ == Role::kSlave) {
         *err = "READONLY You can't write against a read only replica.";
+        *reason = "writes_rejected_readonly";
         return false;
     }
     if (role_ == Role::kMaster && available_slaves_ < cfg_.min_slaves) {
         *err = "NOREPLICAS Not enough good replicas to write.";
+        *reason = "writes_rejected_min_slaves";
         return false;
     }
     if (role_ == Role::kMaster && cfg_.max_repl_lag_bytes > 0) {
@@ -143,6 +188,7 @@ bool KvServer::write_allowed(std::string* err) const {
             if (backlog_.master_offset() - s.ack_offset > cfg_.max_repl_lag_bytes) {
                 *err = "NOREPLPROGRESS Replication to '" + s.name +
                        "' is lagging too far behind.";
+                *reason = "writes_rejected_lag";
                 return false;
             }
         }
@@ -170,8 +216,10 @@ void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv)
         std::string reply;
         if (spec != nullptr && spec->is_write()) {
             std::string err;
-            if (!write_allowed(&err)) {
+            const char* reason = "writes_rejected_other";
+            if (!write_allowed(&err, &reason)) {
                 stats_.incr("writes_rejected");
+                stats_.incr(reason);
                 conn->channel->send(kv::resp::error(err));
                 return;
             }
@@ -194,7 +242,7 @@ void KvServer::propagate(const std::vector<std::string>& repl_argv) {
     backlog_.append(bytes);
 
     if (cfg_.offload_replication) {
-        if (!nic_attached_ || !nic_link_) return;
+        if (!nic_attached_ || !nic_link_ || !nic_link_->open()) return;
         // SKV: one replication request to the SmartNIC, regardless of the
         // number of slaves — the per-write saving the paper measures.
         self_.core->consume(costs_.jittered(rng_, costs_.offload_request_build));
@@ -264,9 +312,12 @@ void KvServer::serve_initial_sync(const std::string& slave_name,
 void KvServer::connect_and_sync_slave(std::string slave_name,
                                       std::int64_t offset) {
     // SKV master, paper Fig. 8 step 3: establish a direct RDMA connection
-    // to the slave and serve the initial synchronization over it.
+    // to the slave and serve the initial synchronization over it. No retry
+    // timer here: a lost handshake leaves the slave unsynced, it re-registers
+    // after probe_silence_timeout and the NIC notifies us again.
     auto connect_cb = [this, slave_name, offset](net::ChannelPtr ch) {
-        if (!ch) return;
+        if (!ch || crashed_) return;
+        ch = wrap_node_link(std::move(ch));
         auto conn = std::make_shared<ClientConn>();
         conn->channel = ch;
         conn->node_link = true;
@@ -373,6 +424,7 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
         case NodeMsg::Type::kProbe: {
             // Reply immediately (paper §III-D).
             stats_.incr("probes_answered");
+            last_probe_ns_ = sim_.now().ns();
             self_.core->consume(costs_.event_dispatch);
             const std::string body =
                 std::string(to_string(role_)) + ":" + kv::ll2string(applied_offset_);
@@ -494,8 +546,13 @@ void KvServer::send_ack() {
 void KvServer::slaveof_baseline(net::EndpointId master_ep,
                                 std::uint16_t node_port) {
     role_ = Role::kSlave;
-    auto cb = [this](net::ChannelPtr ch) {
-        if (!ch) return;
+    baseline_master_ep_ = master_ep;
+    baseline_master_port_ = node_port;
+    const std::uint64_t attempt = ++baseline_connect_attempt_;
+    master_link_.reset();
+    auto cb = [this, attempt](net::ChannelPtr ch) {
+        if (!ch || crashed_ || attempt != baseline_connect_attempt_) return;
+        ch = wrap_node_link(std::move(ch));
         master_link_ = ch;
         auto conn = std::make_shared<ClientConn>();
         conn->channel = ch;
@@ -513,18 +570,33 @@ void KvServer::slaveof_baseline(net::EndpointId master_ep,
     } else {
         nets_.cm->connect(self_, master_ep, node_port, cb);
     }
+    // The connection handshake itself rides unprotected fabric messages:
+    // if it falls into a loss hole, dial again.
+    sim_.after(cfg_.connect_retry, [this, attempt]() {
+        if (crashed_ || attempt != baseline_connect_attempt_) return;
+        if (master_link_ && master_link_->open()) return;
+        stats_.incr("connect_retries");
+        slaveof_baseline(baseline_master_ep_, baseline_master_port_);
+    });
 }
 
 void KvServer::slaveof_skv(net::EndpointId nic_ep, std::uint16_t nic_port) {
     role_ = Role::kSlave;
     skv_nic_ep_ = nic_ep;
     skv_nic_port_ = nic_port;
+    const std::uint64_t attempt = ++skv_connect_attempt_;
+    // A crashed-and-recovered node may still hold an open-looking channel
+    // whose peer has moved on; registration always starts fresh.
+    nic_registration_.reset();
+    last_reregister_ns_ = sim_.now().ns();
     // Paper Fig. 8 step 1: the request carries the slave's replication ID,
     // offset, and identity. The "<name>@<endpoint>" body lets the master
     // dial back for step 3.
-    auto cb = [this](net::ChannelPtr ch) {
-        if (!ch) return;
+    auto cb = [this, attempt](net::ChannelPtr ch) {
+        if (!ch || crashed_ || attempt != skv_connect_attempt_) return;
+        ch = wrap_node_link(std::move(ch));
         nic_registration_ = ch;
+        last_probe_ns_ = sim_.now().ns();
         auto conn = std::make_shared<ClientConn>();
         conn->channel = ch;
         conn->node_link = true;
@@ -540,6 +612,12 @@ void KvServer::slaveof_skv(net::EndpointId nic_ep, std::uint16_t nic_port) {
     assert(cfg_.transport == Transport::kRdma &&
            "SKV mode requires the RDMA transport");
     nets_.cm->connect(self_, nic_ep, nic_port, cb);
+    sim_.after(cfg_.connect_retry, [this, attempt]() {
+        if (crashed_ || attempt != skv_connect_attempt_) return;
+        if (nic_registration_ && nic_registration_->open()) return;
+        stats_.incr("connect_retries");
+        slaveof_skv(skv_nic_ep_, skv_nic_port_);
+    });
 }
 
 void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
@@ -547,10 +625,15 @@ void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
     skv_nic_ep_ = nic_ep;
     skv_nic_port_ = nic_port;
     assert(cfg_.offload_replication);
-    auto cb = [this](net::ChannelPtr ch) {
-        if (!ch) return;
+    const std::uint64_t attempt = ++skv_connect_attempt_;
+    nic_link_.reset();
+    nic_attached_ = false;
+    auto cb = [this, attempt](net::ChannelPtr ch) {
+        if (!ch || crashed_ || attempt != skv_connect_attempt_) return;
+        ch = wrap_node_link(std::move(ch));
         nic_link_ = ch;
         nic_attached_ = true;
+        last_probe_ns_ = sim_.now().ns();
         auto conn = std::make_shared<ClientConn>();
         conn->channel = ch;
         conn->node_link = true;
@@ -569,6 +652,12 @@ void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
     assert(cfg_.transport == Transport::kRdma &&
            "SKV mode requires the RDMA transport");
     nets_.cm->connect(self_, nic_ep, nic_port, cb);
+    sim_.after(cfg_.connect_retry, [this, attempt]() {
+        if (crashed_ || attempt != skv_connect_attempt_) return;
+        if (nic_link_ && nic_link_->open()) return;
+        stats_.incr("connect_retries");
+        attach_nic(skv_nic_ep_, skv_nic_port_);
+    });
 }
 
 // --- slave link for acks (SKV slaves ack over the master's direct channel) -----
@@ -588,6 +677,32 @@ void KvServer::cron() {
         const std::int64_t acks_every =
             std::max<std::int64_t>(1, cfg_.ack_interval.ns() / cfg_.cron_interval.ns());
         if (cron_ticks_ % acks_every == 0) send_ack();
+
+        // SKV self-healing: a node Nic-KV has silently stopped probing (a
+        // one-directional partition gives this side no broken-link signal)
+        // or a slave whose initial sync never arrived re-registers, which
+        // re-runs the Fig. 8 handshake and the backlog partial resync.
+        if (skv_nic_ep_ != net::kInvalidEndpoint &&
+            cfg_.probe_silence_timeout.ns() > 0) {
+            const std::int64_t now = sim_.now().ns();
+            const std::int64_t silence = cfg_.probe_silence_timeout.ns();
+            if (now - last_reregister_ns_ > silence) {
+                if (role_ == Role::kSlave) {
+                    const bool probe_silent =
+                        nic_registration_ && nic_registration_->open() &&
+                        now - last_probe_ns_ > silence;
+                    if (probe_silent || !master_link_) {
+                        stats_.incr("reregistrations");
+                        slaveof_skv(skv_nic_ep_, skv_nic_port_);
+                    }
+                } else if (cfg_.offload_replication && nic_attached_ &&
+                           now - last_probe_ns_ > silence) {
+                    stats_.incr("reregistrations");
+                    last_reregister_ns_ = now;
+                    attach_nic(skv_nic_ep_, skv_nic_port_);
+                }
+            }
+        }
     }
     sim_.after(cfg_.cron_interval, [this]() { cron(); });
 }

@@ -108,13 +108,18 @@ private:
     void listen_all();
     void on_client_accept(net::ChannelPtr ch);
     void on_node_accept(net::ChannelPtr ch);
+    /// Wrap a node link in the retransmitting layer (when configured) and
+    /// install the broken-link reaction.
+    net::ChannelPtr wrap_node_link(net::ChannelPtr ch);
+    void on_node_link_broken(const net::Channel* raw);
 
     // -- client command path
     void on_client_data(const ClientPtr& conn, std::string payload);
     void run_command(const ClientPtr& conn, std::vector<std::string> argv);
     [[nodiscard]] sim::Duration command_cost(
         const std::vector<std::string>& argv, const kv::CommandSpec* spec) const;
-    [[nodiscard]] bool write_allowed(std::string* err) const;
+    /// `reason` receives a stats-counter key naming why the write was gated.
+    [[nodiscard]] bool write_allowed(std::string* err, const char** reason) const;
 
     // -- replication (master side)
     void propagate(const std::vector<std::string>& repl_argv);
@@ -163,6 +168,14 @@ private:
     net::ChannelPtr nic_registration_;   // SKV slave: channel to Nic-KV
     net::EndpointId skv_nic_ep_ = net::kInvalidEndpoint; // for re-registration
     std::uint16_t skv_nic_port_ = 0;
+    net::EndpointId baseline_master_ep_ = net::kInvalidEndpoint;
+    std::uint16_t baseline_master_port_ = 0;
+    // Connect attempts are numbered so a late handshake completion (or a
+    // scheduled retry) from a superseded attempt is ignored.
+    std::uint64_t skv_connect_attempt_ = 0;
+    std::uint64_t baseline_connect_attempt_ = 0;
+    std::int64_t last_probe_ns_ = 0;     // when Nic-KV last probed us
+    std::int64_t last_reregister_ns_ = 0;
     std::int64_t applied_offset_ = 0;
     kv::resp::RequestParser repl_parser_;
     /// Stream frames that arrived ahead of applied_offset_ (e.g. fan-out

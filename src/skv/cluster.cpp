@@ -34,8 +34,12 @@ void Cluster::start() {
         np.arm_cores = cfg_.costs.nic_cores;
         nic_ = std::make_unique<nic::SmartNic>(sim_, fabric_, master_ep,
                                                "master/bf2", np);
-        nickv_ = std::make_unique<NicKv>(sim_, cfg_.costs, cm_, *nic_,
-                                         cfg_.nic_cfg);
+        // Both ends of a node link must agree on whether the reliable
+        // envelope is spoken.
+        NicKvConfig ncfg = cfg_.nic_cfg;
+        ncfg.reliable_node_links = cfg_.server_tmpl.reliable_node_links;
+        ncfg.reliable = cfg_.server_tmpl.reliable;
+        nickv_ = std::make_unique<NicKv>(sim_, cfg_.costs, cm_, *nic_, ncfg);
     }
 
     // Slave hosts.

@@ -28,6 +28,12 @@ void NicKv::start() {
 }
 
 void NicKv::on_accept(net::ChannelPtr ch) {
+    if (cfg_.reliable_node_links) {
+        auto rel = server::ReliableChannel::wrap(sim_, std::move(ch), cfg_.reliable);
+        const net::Channel* rel_raw = rel.get();
+        rel->set_on_broken([this, rel_raw]() { on_link_broken(rel_raw); });
+        ch = rel;
+    }
     auto raw = ch.get();
     ch->set_on_message([this, raw](std::string payload) {
         // Recover the shared_ptr from the node list (or transiently wrap).
@@ -108,7 +114,13 @@ void NicKv::assign_cores() {
     for (auto& e : nodes_) {
         if (e.is_master) continue;
         e.core_idx = next % threads;
-        if (auto ring = std::dynamic_pointer_cast<rdma::RingChannel>(e.channel)) {
+        // The ring messenger may sit under the reliable wrapper.
+        net::ChannelPtr transport = e.channel;
+        if (auto rel =
+                std::dynamic_pointer_cast<server::ReliableChannel>(transport)) {
+            transport = rel->inner();
+        }
+        if (auto ring = std::dynamic_pointer_cast<rdma::RingChannel>(transport)) {
             ring->rebind_core(&nic_.core(e.core_idx));
         }
         ++next;
@@ -306,7 +318,28 @@ void NicKv::check_timeouts() {
         }
     }
     if (!changed) return;
+    after_invalidation();
+}
 
+void NicKv::on_link_broken(const net::Channel* raw) {
+    // The reliable layer exhausted its retries: treat the node like a probe
+    // timeout would, without waiting for one (gray links fail faster than
+    // silent crashes).
+    for (auto& e : nodes_) {
+        if (e.channel.get() == raw && e.valid) {
+            e.valid = false;
+            stats_.incr("failures_detected");
+            stats_.incr("links_broken");
+            after_invalidation();
+            return;
+        }
+    }
+    // A pending (never-registered) connection died: just forget it.
+    std::erase_if(pending_,
+                  [raw](const net::ChannelPtr& p) { return p.get() == raw; });
+}
+
+void NicKv::after_invalidation() {
     if (master_idx_ >= 0 && !nodes_[static_cast<std::size_t>(master_idx_)].valid &&
         promoted_idx_ < 0) {
         // Failover: pick an available slave as the stand-in master.

@@ -10,6 +10,7 @@
 #include "nic/smartnic.hpp"
 #include "rdma/cm.hpp"
 #include "server/protocol.hpp"
+#include "server/reliable.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 
@@ -29,6 +30,10 @@ struct NicKvConfig {
     sim::Duration waiting_time{sim::milliseconds(1500)};
     /// Node-list entry footprint charged against on-board DRAM.
     std::size_t node_entry_bytes = 512 * 1024;
+    /// Wrap accepted node links in the retransmitting layer (must match the
+    /// KvServer-side setting, both ends speak the same envelope).
+    bool reliable_node_links = true;
+    server::ReliableParams reliable{};
 };
 
 /// Nic-KV: the offloaded component running on the SmartNIC's ARM cores.
@@ -83,6 +88,10 @@ private:
 
     void probe_cycle();
     void check_timeouts();
+    /// Shared failover/publish reaction after nodes were marked invalid by
+    /// the timeout scan or a broken reliable link.
+    void after_invalidation();
+    void on_link_broken(const net::Channel* raw);
     void publish_slave_status();
     void assign_cores();
 

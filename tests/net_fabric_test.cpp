@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "net/fabric.hpp"
 
 namespace skv::net {
@@ -135,6 +139,143 @@ TEST_F(FabricTest, CompanionTrafficContendsWithHostEgress) {
     fabric.send(host, other, 64, [&] { host_arrival = sim.now(); });
     sim.run();
     EXPECT_GT(host_arrival.ns(), 70'000); // queued behind ~80us of NIC bytes
+}
+
+TEST_F(FabricTest, InFlightMessagesDieOnSever) {
+    const auto a = fabric.add_host("a");
+    const auto b = fabric.add_host("b");
+    bool delivered = false;
+    fabric.send(a, b, 100'000, [&] { delivered = true; }); // ~8us in flight
+    // Sever and restore while the message is on the wire: a link flap must
+    // kill everything in transit, even though the endpoint is healthy again
+    // by the time the delivery event fires.
+    sim.after(sim::microseconds(2), [&] { fabric.sever(b); });
+    sim.after(sim::microseconds(4), [&] { fabric.restore(b); });
+    sim.run();
+    EXPECT_FALSE(delivered);
+    EXPECT_EQ(fabric.dropped_in_flight(), 1u);
+    // The restored link carries fresh traffic normally.
+    fabric.send(a, b, 64, [&] { delivered = true; });
+    sim.run();
+    EXPECT_TRUE(delivered);
+}
+
+TEST_F(FabricTest, RapidFlapCyclesDoNotLeakReservations) {
+    const auto a = fabric.add_host("a");
+    const auto b = fabric.add_host("b");
+    sim::SimTime fresh;
+    fabric.send(a, b, 64, [&] { fresh = sim.now(); });
+    sim.run();
+    const auto baseline = fresh.ns();
+    // Hammer the link with sever/restore cycles, every message caught
+    // mid-flight and killed. Once the port has drained its (legitimate)
+    // serialization backlog, latency must be back to baseline: flaps leave
+    // no residual transmitter state behind.
+    int delivered_mid = 0;
+    for (int i = 0; i < 50; ++i) {
+        fabric.send(a, b, 100'000, [&] { ++delivered_mid; });
+        fabric.sever(b);
+        fabric.restore(b);
+    }
+    sim.run();
+    EXPECT_EQ(delivered_mid, 0);
+    EXPECT_EQ(fabric.dropped_in_flight(), 50u);
+    const auto t0 = sim.now();
+    sim::SimTime after_flaps;
+    fabric.send(a, b, 64, [&] { after_flaps = sim.now(); });
+    sim.run();
+    EXPECT_EQ((after_flaps - t0).ns(), baseline);
+}
+
+TEST_F(FabricTest, FaultInjectorDropsEverythingAtProbabilityOne) {
+    const auto a = fabric.add_host("a");
+    const auto b = fabric.add_host("b");
+    FaultSpec spec;
+    spec.drop_prob = 1.0;
+    fabric.faults().set_pair(a, b, spec);
+    int delivered = 0;
+    for (int i = 0; i < 20; ++i) fabric.send(a, b, 64, [&] { ++delivered; });
+    // The reverse direction is untouched.
+    fabric.send(b, a, 64, [&] { ++delivered; });
+    sim.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(fabric.faults().stats().counter("drops"), 20u);
+}
+
+TEST_F(FabricTest, FaultInjectorDuplicatesDeliverTwice) {
+    const auto a = fabric.add_host("a");
+    const auto b = fabric.add_host("b");
+    FaultSpec spec;
+    spec.dup_prob = 1.0;
+    fabric.faults().set_pair(a, b, spec);
+    int delivered = 0;
+    fabric.send(a, b, 64, [&] { ++delivered; });
+    sim.run();
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(fabric.faults().stats().counter("dups"), 1u);
+}
+
+TEST_F(FabricTest, FaultInjectorJitterKeepsLinkFifo) {
+    const auto a = fabric.add_host("a");
+    const auto b = fabric.add_host("b");
+    FaultSpec spec;
+    spec.jitter_prob = 0.5;
+    spec.jitter_mean = sim::microseconds(20);
+    fabric.faults().set_pair(a, b, spec);
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+        fabric.send(a, b, 64, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    ASSERT_EQ(order.size(), 50u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+    EXPECT_GT(fabric.faults().stats().counter("delays"), 0u);
+}
+
+TEST_F(FabricTest, FaultInjectorBlockedEndpointIsAsymmetricWhenPaired) {
+    const auto a = fabric.add_host("a");
+    const auto b = fabric.add_host("b");
+    FaultSpec cut;
+    cut.blocked = true;
+    fabric.faults().set_pair(a, b, cut); // one-way: a -> b dead, b -> a fine
+    int forward = 0;
+    int backward = 0;
+    fabric.send(a, b, 64, [&] { ++forward; });
+    fabric.send(b, a, 64, [&] { ++backward; });
+    sim.run();
+    EXPECT_EQ(forward, 0);
+    EXPECT_EQ(backward, 1);
+    EXPECT_EQ(fabric.faults().stats().counter("partition_drops"), 1u);
+
+    fabric.faults().clear_pair(a, b);
+    fabric.send(a, b, 64, [&] { ++forward; });
+    sim.run();
+    EXPECT_EQ(forward, 1);
+}
+
+TEST_F(FabricTest, FaultInjectorIsSeedDeterministic) {
+    auto run_once = [] {
+        sim::Simulation s{99};
+        Fabric f{s};
+        const auto a = f.add_host("a");
+        const auto b = f.add_host("b");
+        FaultSpec spec;
+        spec.drop_prob = 0.3;
+        spec.dup_prob = 0.1;
+        spec.jitter_prob = 0.4;
+        spec.jitter_mean = sim::microseconds(5);
+        f.faults().set_pair(a, b, spec);
+        std::vector<std::int64_t> arrivals;
+        for (int i = 0; i < 100; ++i) {
+            f.send(a, b, 64, [&] { arrivals.push_back(s.now().ns()); });
+        }
+        s.run();
+        return std::make_pair(arrivals, f.faults().stats().format());
+    };
+    const auto first = run_once();
+    const auto second = run_once();
+    EXPECT_EQ(first.first, second.first);
+    EXPECT_EQ(first.second, second.second);
 }
 
 } // namespace
