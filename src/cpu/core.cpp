@@ -1,18 +1,19 @@
 #include "cpu/core.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "sim/check.hpp"
 
 namespace skv::cpu {
 
 Core::Core(sim::Simulation& sim, std::string name, double speed_factor)
     : sim_(sim), name_(std::move(name)), speed_factor_(speed_factor) {
-    assert(speed_factor > 0.0);
+    SKV_CHECK(speed_factor > 0.0);
 }
 
 sim::SimTime Core::submit(sim::Duration host_cost, std::function<void()> fn) {
-    assert(host_cost.ns() >= 0);
+    SKV_DCHECK(host_cost.ns() >= 0);
     if (halted_) return sim::SimTime::max();
     const sim::Duration cost = host_cost.scaled(speed_factor_);
     const sim::SimTime start = std::max(sim_.now(), busy_until_);

@@ -1,13 +1,14 @@
 #include "kv/backlog.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
+
+#include "sim/check.hpp"
 
 namespace skv::kv {
 
 ReplBacklog::ReplBacklog(std::size_t capacity) : buf_(capacity) {
-    assert(capacity > 0);
+    SKV_CHECK(capacity > 0);
 }
 
 void ReplBacklog::append(std::string_view bytes) {
@@ -30,7 +31,7 @@ void ReplBacklog::append(std::string_view bytes) {
 }
 
 std::string ReplBacklog::read_from(std::int64_t from) const {
-    assert(can_serve(from));
+    SKV_DCHECK(can_serve(from));
     const auto len = static_cast<std::size_t>(master_offset_ - from);
     if (len == 0) return {};
     // The ring's logical end is at head_; the wanted range ends there.

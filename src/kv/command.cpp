@@ -1,8 +1,9 @@
 #include "kv/command.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cctype>
+
+#include "sim/check.hpp"
 
 namespace skv::kv {
 
@@ -49,7 +50,7 @@ const CommandTable& CommandTable::instance() {
 
 void CommandTable::add(CommandSpec spec) {
     std::string key = lower(spec.name);
-    assert(!commands_.contains(key) && "duplicate command registration");
+    SKV_CHECK(!commands_.contains(key), "duplicate command registration");
     commands_.emplace(std::move(key), std::move(spec));
 }
 
@@ -62,7 +63,7 @@ ExecResult CommandTable::execute(Database& db, sim::Rng& rng,
                                  const std::vector<std::string>& argv,
                                  std::string& reply) const {
     ExecResult res;
-    assert(!argv.empty());
+    SKV_DCHECK(!argv.empty());
     const CommandSpec* spec = lookup(argv[0]);
     if (spec == nullptr) {
         reply += resp::error("ERR unknown command '" + argv[0] + "'");

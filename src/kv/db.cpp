@@ -1,6 +1,6 @@
 #include "kv/db.hpp"
+#include "sim/check.hpp"
 
-#include <cassert>
 
 namespace skv::kv {
 
@@ -22,7 +22,7 @@ ObjectPtr Database::lookup(std::string_view key) {
 }
 
 void Database::set(std::string_view key, ObjectPtr obj) {
-    assert(obj);
+    SKV_DCHECK(obj);
     const Sds k(key);
     keys_.set(k, std::move(obj));
     expires_.erase(k);
@@ -30,7 +30,7 @@ void Database::set(std::string_view key, ObjectPtr obj) {
 }
 
 void Database::set_keep_ttl(std::string_view key, ObjectPtr obj) {
-    assert(obj);
+    SKV_DCHECK(obj);
     keys_.set(Sds(key), std::move(obj));
     ++dirty_;
 }

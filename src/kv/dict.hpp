@@ -1,12 +1,12 @@
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
 #include "kv/sds.hpp"
+#include "sim/check.hpp"
 #include "sim/rng.hpp"
 
 namespace skv::kv {
@@ -59,7 +59,7 @@ public:
             return false;
         }
         const bool inserted = insert(key, std::move(val));
-        assert(inserted);
+        SKV_DCHECK(inserted);
         (void)inserted;
         return true;
     }
@@ -222,7 +222,7 @@ private:
     }
 
     void start_rehash(std::size_t newsize) {
-        assert(!rehashing());
+        SKV_DCHECK(!rehashing());
         if (newsize == table_[0].size()) return;
         table_[1].assign(newsize, Bucket{});
         rehash_idx_ = 0;
@@ -255,7 +255,7 @@ private:
     /// Move one non-empty bucket from table 0 to table 1 (visiting at most
     /// 10 empty buckets, as Redis's dictRehash(d, 1) does).
     void migrate_one() {
-        assert(rehashing());
+        SKV_DCHECK(rehashing());
         int empty_visits = 10;
         while (static_cast<std::size_t>(rehash_idx_) < table_[0].size() &&
                table_[0][static_cast<std::size_t>(rehash_idx_)].empty()) {
@@ -281,7 +281,7 @@ private:
     }
 
     void finish_rehash() {
-        assert(used_[0] == 0);
+        SKV_DCHECK(used_[0] == 0);
         table_[0] = std::move(table_[1]);
         table_[1].clear();
         used_[0] = used_[1];

@@ -1,8 +1,9 @@
 #include "kv/intset.hpp"
 
-#include <cassert>
 #include <cstring>
 #include <limits>
+
+#include "sim/check.hpp"
 
 namespace skv::kv {
 
@@ -20,7 +21,7 @@ IntSet::Encoding IntSet::required_encoding(std::int64_t v) {
 
 std::int64_t IntSet::get(std::size_t i, Encoding enc) const {
     const std::size_t w = static_cast<std::size_t>(enc);
-    assert((i + 1) * w <= buf_.size());
+    SKV_DCHECK((i + 1) * w <= buf_.size());
     switch (enc) {
         case Encoding::kInt16: {
             std::int16_t v;
@@ -43,7 +44,7 @@ std::int64_t IntSet::get(std::size_t i, Encoding enc) const {
 
 void IntSet::set(std::size_t i, std::int64_t v) {
     const std::size_t w = static_cast<std::size_t>(encoding_);
-    assert((i + 1) * w <= buf_.size());
+    SKV_DCHECK((i + 1) * w <= buf_.size());
     switch (encoding_) {
         case Encoding::kInt16: {
             const auto x = static_cast<std::int16_t>(v);
@@ -62,12 +63,12 @@ void IntSet::set(std::size_t i, std::int64_t v) {
 }
 
 std::int64_t IntSet::at(std::size_t i) const {
-    assert(i < size_);
+    SKV_DCHECK(i < size_);
     return get(i, encoding_);
 }
 
 std::int64_t IntSet::random(sim::Rng& rng) const {
-    assert(size_ > 0);
+    SKV_DCHECK(size_ > 0);
     return at(rng.next_below(size_));
 }
 
@@ -107,7 +108,7 @@ bool IntSet::search(std::int64_t v, std::size_t* pos) const {
 
 void IntSet::upgrade_and_insert(std::int64_t v) {
     const Encoding newenc = required_encoding(v);
-    assert(static_cast<int>(newenc) > static_cast<int>(encoding_));
+    SKV_DCHECK(static_cast<int>(newenc) > static_cast<int>(encoding_));
     const Encoding oldenc = encoding_;
     const std::size_t n = size_;
     const bool prepend = v < 0; // wider value sorts at one end by definition

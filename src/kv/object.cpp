@@ -1,7 +1,8 @@
 #include "kv/object.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/check.hpp"
 
 namespace skv::kv {
 
@@ -64,12 +65,12 @@ ObjectPtr Object::make_zset() {
 // --- string -------------------------------------------------------------
 
 std::string Object::string_value() const {
-    assert(type_ == ObjType::kString);
+    SKV_DCHECK(type_ == ObjType::kString);
     return encoding_ == ObjEncoding::kInt ? ll2string(ival_) : str_.str();
 }
 
 std::size_t Object::string_len() const {
-    assert(type_ == ObjType::kString);
+    SKV_DCHECK(type_ == ObjType::kString);
     return encoding_ == ObjEncoding::kInt ? ll2string(ival_).size() : str_.size();
 }
 
@@ -80,7 +81,7 @@ std::optional<long long> Object::int_value() const {
 }
 
 std::size_t Object::string_append(std::string_view tail) {
-    assert(type_ == ObjType::kString);
+    SKV_DCHECK(type_ == ObjType::kString);
     if (encoding_ == ObjEncoding::kInt) {
         str_.assign(ll2string(ival_));
         encoding_ = ObjEncoding::kRaw;
@@ -90,7 +91,7 @@ std::size_t Object::string_append(std::string_view tail) {
 }
 
 void Object::string_set(std::string_view v) {
-    assert(type_ == ObjType::kString);
+    SKV_DCHECK(type_ == ObjType::kString);
     if (auto ll = string2ll(v)) {
         string_set_ll(*ll);
         return;
@@ -100,7 +101,7 @@ void Object::string_set(std::string_view v) {
 }
 
 void Object::string_set_ll(long long v) {
-    assert(type_ == ObjType::kString);
+    SKV_DCHECK(type_ == ObjType::kString);
     encoding_ = ObjEncoding::kInt;
     ival_ = v;
     str_.clear();
@@ -109,7 +110,7 @@ void Object::string_set_ll(long long v) {
 // --- set ------------------------------------------------------------------
 
 void Object::set_upgrade_to_hashtable() {
-    assert(encoding_ == ObjEncoding::kIntSet);
+    SKV_DCHECK(encoding_ == ObjEncoding::kIntSet);
     for (std::size_t i = 0; i < intset_.size(); ++i) {
         setdict_.insert(Sds(ll2string(intset_.at(i))), 0);
     }
@@ -118,7 +119,7 @@ void Object::set_upgrade_to_hashtable() {
 }
 
 bool Object::set_add(std::string_view member) {
-    assert(type_ == ObjType::kSet);
+    SKV_DCHECK(type_ == ObjType::kSet);
     if (encoding_ == ObjEncoding::kIntSet) {
         if (auto ll = string2ll(member)) {
             const bool added = intset_.insert(*ll);
@@ -133,7 +134,7 @@ bool Object::set_add(std::string_view member) {
 }
 
 bool Object::set_remove(std::string_view member) {
-    assert(type_ == ObjType::kSet);
+    SKV_DCHECK(type_ == ObjType::kSet);
     if (encoding_ == ObjEncoding::kIntSet) {
         if (auto ll = string2ll(member)) return intset_.erase(*ll);
         return false;
@@ -142,7 +143,7 @@ bool Object::set_remove(std::string_view member) {
 }
 
 bool Object::set_contains(std::string_view member) const {
-    assert(type_ == ObjType::kSet);
+    SKV_DCHECK(type_ == ObjType::kSet);
     if (encoding_ == ObjEncoding::kIntSet) {
         if (auto ll = string2ll(member)) return intset_.contains(*ll);
         return false;
@@ -151,12 +152,12 @@ bool Object::set_contains(std::string_view member) const {
 }
 
 std::size_t Object::set_size() const {
-    assert(type_ == ObjType::kSet);
+    SKV_DCHECK(type_ == ObjType::kSet);
     return encoding_ == ObjEncoding::kIntSet ? intset_.size() : setdict_.size();
 }
 
 std::vector<std::string> Object::set_members() const {
-    assert(type_ == ObjType::kSet);
+    SKV_DCHECK(type_ == ObjType::kSet);
     std::vector<std::string> out;
     if (encoding_ == ObjEncoding::kIntSet) {
         out.reserve(intset_.size());
@@ -171,7 +172,7 @@ std::vector<std::string> Object::set_members() const {
 }
 
 std::optional<std::string> Object::set_pop(sim::Rng& rng) {
-    assert(type_ == ObjType::kSet);
+    SKV_DCHECK(type_ == ObjType::kSet);
     if (set_size() == 0) return std::nullopt;
     if (encoding_ == ObjEncoding::kIntSet) {
         const std::int64_t v = intset_.random(rng);
@@ -188,7 +189,7 @@ std::optional<std::string> Object::set_pop(sim::Rng& rng) {
 // --- zset -------------------------------------------------------------------
 
 bool Object::zadd(double score, std::string_view member) {
-    assert(type_ == ObjType::kZSet);
+    SKV_DCHECK(type_ == ObjType::kZSet);
     const Sds m(member);
     if (double* cur = zdict_.find(m)) {
         if (*cur != score) {
@@ -203,31 +204,31 @@ bool Object::zadd(double score, std::string_view member) {
 }
 
 bool Object::zrem(std::string_view member) {
-    assert(type_ == ObjType::kZSet);
+    SKV_DCHECK(type_ == ObjType::kZSet);
     const Sds m(member);
     double* cur = zdict_.find(m);
     if (cur == nullptr) return false;
     const bool erased = zsl_->erase(*cur, m);
-    assert(erased);
+    SKV_DCHECK(erased);
     (void)erased;
     zdict_.erase(m);
     return true;
 }
 
 std::optional<double> Object::zscore(std::string_view member) const {
-    assert(type_ == ObjType::kZSet);
+    SKV_DCHECK(type_ == ObjType::kZSet);
     const double* s = zdict_.find(Sds(member));
     if (s == nullptr) return std::nullopt;
     return *s;
 }
 
 std::optional<std::size_t> Object::zrank(std::string_view member) const {
-    assert(type_ == ObjType::kZSet);
+    SKV_DCHECK(type_ == ObjType::kZSet);
     const Sds m(member);
     const double* s = zdict_.find(m);
     if (s == nullptr) return std::nullopt;
     const std::size_t r = zsl_->rank(*s, m);
-    assert(r > 0);
+    SKV_DCHECK(r > 0);
     return r - 1;
 }
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <cstring>
+
+#include "sim/check.hpp"
 
 namespace skv::kv::rdb {
 
@@ -279,7 +280,7 @@ std::string save(const Database& db) {
               [](const Sds* a, const Sds* b) { return a->compare(*b) < 0; });
     for (const Sds* k : keys) {
         const ObjectPtr* o = db.keys().find(*k);
-        assert(o != nullptr);
+        SKV_DCHECK(o != nullptr);
         const auto expire = db.expire_at(k->view());
         if (expire.has_value()) {
             out.push_back(static_cast<char>(kOpExpireMs));

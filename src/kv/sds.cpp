@@ -23,6 +23,7 @@ void Sds::make_room(std::size_t n) {
 }
 
 void Sds::append(std::string_view s) {
+    if (s.empty()) return; // memcpy from a null view is UB even for size 0
     make_room(s.size());
     std::memcpy(buf_.data() + len_, s.data(), s.size());
     len_ += s.size();

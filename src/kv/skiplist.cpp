@@ -1,6 +1,6 @@
 #include "kv/skiplist.hpp"
+#include "sim/check.hpp"
 
-#include <cassert>
 
 namespace skv::kv {
 
@@ -140,7 +140,7 @@ void SkipList::update_score(double cur_score, const Sds& member,
         }
     }
     x = x->level[0].forward;
-    assert(x != nullptr && x->score == cur_score && x->member == member);
+    SKV_DCHECK(x != nullptr && x->score == cur_score && x->member == member);
 
     const bool fits_before =
         (x->backward == nullptr || x->backward->score < new_score ||

@@ -1,7 +1,8 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/check.hpp"
 
 namespace skv::net {
 
@@ -28,8 +29,8 @@ EndpointId Fabric::add_host(const std::string& name, LinkParams link) {
 
 EndpointId Fabric::add_companion(EndpointId host, const std::string& name,
                                  CompanionParams params) {
-    assert(host < endpoints_.size());
-    assert(!endpoints_[host].is_companion && "companion must attach to a host");
+    SKV_CHECK(host < endpoints_.size());
+    SKV_CHECK(!endpoints_[host].is_companion, "companion must attach to a host");
     Endpoint ep;
     ep.name = name;
     ep.is_companion = true;
@@ -43,7 +44,7 @@ EndpointId Fabric::add_companion(EndpointId host, const std::string& name,
 }
 
 EndpointId Fabric::port_of(EndpointId ep) const {
-    assert(ep < endpoints_.size());
+    SKV_CHECK(ep < endpoints_.size());
     return endpoints_[ep].is_companion ? endpoints_[ep].host : ep;
 }
 
@@ -52,23 +53,25 @@ bool Fabric::same_port(EndpointId a, EndpointId b) const {
 }
 
 void Fabric::sever(EndpointId ep) {
-    assert(ep < endpoints_.size());
+    SKV_CHECK(ep < endpoints_.size());
     endpoints_[ep].severed = true;
     ++endpoints_[ep].sever_epoch;
+    sim_.trace().note(sim::TraceEvent::kFabricSever, sim_.now(), ep);
 }
 
 void Fabric::restore(EndpointId ep) {
-    assert(ep < endpoints_.size());
+    SKV_CHECK(ep < endpoints_.size());
     endpoints_[ep].severed = false;
+    sim_.trace().note(sim::TraceEvent::kFabricRestore, sim_.now(), ep);
 }
 
 bool Fabric::severed(EndpointId ep) const {
-    assert(ep < endpoints_.size());
+    SKV_CHECK(ep < endpoints_.size());
     return endpoints_[ep].severed;
 }
 
 const std::string& Fabric::name_of(EndpointId ep) const {
-    assert(ep < endpoints_.size());
+    SKV_CHECK(ep < endpoints_.size());
     return endpoints_[ep].name;
 }
 
@@ -132,19 +135,25 @@ void Fabric::schedule_delivery(EndpointId from, EndpointId to, sim::SimTime when
         if (src.severed || dst.severed || src.sever_epoch != from_epoch ||
             dst.sever_epoch != to_epoch) {
             ++dropped_in_flight_;
+            sim_.trace().note(sim::TraceEvent::kFabricDropInFlight, sim_.now(),
+                              from, to);
             return;
         }
+        sim_.trace().note(sim::TraceEvent::kFabricDeliver, sim_.now(), from, to);
         cb();
     });
 }
 
 sim::SimTime Fabric::send(EndpointId from, EndpointId to, std::size_t bytes,
                           std::function<void()> on_delivered) {
-    assert(from < endpoints_.size() && to < endpoints_.size());
-    assert(from != to && "sending to self");
+    SKV_CHECK(from < endpoints_.size() && to < endpoints_.size());
+    SKV_CHECK(from != to, "sending to self");
 
     ++messages_;
     bytes_ += bytes;
+    // Determinism audit: every send folds (kind, time, route) into the
+    // trace digest, so two runs of the same seed can be compared hop by hop.
+    sim_.trace().note(sim::TraceEvent::kFabricSend, sim_.now(), from, to);
 
     const bool dropped = endpoints_[from].severed || endpoints_[to].severed;
 
@@ -163,7 +172,11 @@ sim::SimTime Fabric::send(EndpointId from, EndpointId to, std::size_t bytes,
     if (faults_) {
         auto decision = faults_->evaluate(from, to, sim_.now());
         if (decision.touched) {
-            if (!decision.deliver) return arrival;
+            if (!decision.deliver) {
+                sim_.trace().note(sim::TraceEvent::kFabricFaultDrop,
+                                  sim_.now(), from, to);
+                return arrival;
+            }
             arrival = faults_->clamp_fifo(from, to, arrival + decision.delay);
             if (decision.duplicate) {
                 const auto dup_at = faults_->clamp_fifo(

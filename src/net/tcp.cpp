@@ -1,7 +1,8 @@
 #include "net/tcp.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "sim/check.hpp"
 
 namespace skv::net {
 
@@ -10,7 +11,7 @@ TcpNetwork::TcpNetwork(sim::Simulation& sim, Fabric& fabric,
     : sim_(sim), fabric_(fabric), costs_(costs), rng_(sim.fork_rng()) {}
 
 void TcpNetwork::listen(NodeRef node, std::uint16_t port, AcceptHandler on_accept) {
-    assert(node.valid());
+    SKV_CHECK(node.valid());
     listeners_[ListenerKey{node.ep, port}] = Listener{node, std::move(on_accept)};
 }
 
@@ -20,7 +21,7 @@ void TcpNetwork::stop_listening(EndpointId ep, std::uint16_t port) {
 
 void TcpNetwork::connect(NodeRef from, EndpointId to, std::uint16_t port,
                          ConnectHandler on_connected) {
-    assert(from.valid());
+    SKV_CHECK(from.valid());
     // SYN: one control message across the fabric plus kernel work on the
     // initiator.
     from.core->consume(costs_.jittered(rng_, costs_.tcp_side_cost(64)));

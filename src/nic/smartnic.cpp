@@ -1,6 +1,6 @@
 #include "nic/smartnic.hpp"
+#include "sim/check.hpp"
 
-#include <cassert>
 
 namespace skv::nic {
 
@@ -8,7 +8,7 @@ SmartNic::SmartNic(sim::Simulation& sim, net::Fabric& fabric,
                    net::EndpointId host, const std::string& name,
                    SmartNicParams params)
     : host_(host), name_(name), params_(params) {
-    assert(params_.arm_cores > 0);
+    SKV_CHECK(params_.arm_cores > 0);
     endpoint_ = fabric.add_companion(host, name, params_.companion);
     cores_.reserve(static_cast<std::size_t>(params_.arm_cores));
     for (int i = 0; i < params_.arm_cores; ++i) {
@@ -24,7 +24,7 @@ bool SmartNic::reserve_memory(std::size_t bytes) {
 }
 
 void SmartNic::release_memory(std::size_t bytes) {
-    assert(bytes <= mem_used_);
+    SKV_CHECK(bytes <= mem_used_);
     mem_used_ -= bytes;
 }
 

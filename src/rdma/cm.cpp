@@ -1,12 +1,12 @@
 #include "rdma/cm.hpp"
+#include "sim/check.hpp"
 
-#include <cassert>
 
 namespace skv::rdma {
 
 void ConnectionManager::listen(net::NodeRef node, std::uint16_t port,
                                AcceptHandler on_accept, RingParams params) {
-    assert(node.valid());
+    SKV_CHECK(node.valid());
     listeners_[ListenerKey{node.ep, port}] =
         Listener{node, std::move(on_accept), params};
 }
@@ -18,7 +18,7 @@ void ConnectionManager::stop_listening(net::EndpointId ep, std::uint16_t port) {
 void ConnectionManager::connect(net::NodeRef from, net::EndpointId to,
                                 std::uint16_t port, ConnectHandler on_connected,
                                 RingParams params) {
-    assert(from.valid());
+    SKV_CHECK(from.valid());
 
     // Client allocates its resources up front: CQs, completion channel and
     // the receive-ring MR whose information travels in the handshake.

@@ -1,8 +1,9 @@
 #include "rdma/ring_channel.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "sim/check.hpp"
 
 namespace skv::rdma {
 
@@ -10,8 +11,8 @@ RingChannel::RingChannel(RdmaNetwork& net, net::NodeRef self,
                          net::EndpointId peer, RingParams params)
     : net_(net), self_(self), peer_(peer), params_(params),
       rng_(net.simulation().fork_rng()) {
-    assert(params_.ring_bytes > 0);
-    assert(params_.credit_threshold > 0);
+    SKV_CHECK(params_.ring_bytes > 0);
+    SKV_CHECK(params_.credit_threshold > 0);
     // A credit threshold above half the ring can deadlock: the sender's
     // window empties before the receiver ever announces consumption.
     params_.credit_threshold =
@@ -32,7 +33,7 @@ void RingChannel::init_local() {
 
 void RingChannel::attach(QueuePairPtr own_qp, std::uint32_t remote_rkey,
                          std::size_t remote_capacity) {
-    assert(own_qp);
+    SKV_CHECK(own_qp);
     qp_ = std::move(own_qp);
     remote_rkey_ = remote_rkey;
     remote_capacity_ = remote_capacity;
@@ -102,7 +103,7 @@ void RingChannel::pump_backlog() {
 
 void RingChannel::transmit(std::string payload) {
     const std::size_t len = payload.size();
-    assert(len <= free_space_);
+    SKV_DCHECK(len <= free_space_);
     free_space_ -= len;
     sent_total_ += len;
     SendWr wr;
@@ -159,7 +160,7 @@ void RingChannel::on_cq_event() {
 
 void RingChannel::handle_completion(const Completion& c) {
     if (c.op != Opcode::kRecv) return;
-    assert(posted_recvs_ > 0);
+    SKV_DCHECK(posted_recvs_ > 0);
     --posted_recvs_;
     if (c.has_imm) {
         handle_data(c);

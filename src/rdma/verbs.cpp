@@ -1,6 +1,6 @@
 #include "rdma/verbs.hpp"
+#include "sim/check.hpp"
 
-#include <cassert>
 
 namespace skv::rdma {
 
@@ -19,21 +19,21 @@ const char* to_string(Opcode op) {
 
 MemoryRegion::MemoryRegion(std::uint32_t rkey, std::size_t size)
     : rkey_(rkey), buf_(size, '\0') {
-    assert(size > 0);
+    SKV_CHECK(size > 0);
 }
 
 void MemoryRegion::write(std::size_t offset, std::string_view bytes) {
-    assert(offset + bytes.size() <= buf_.size() && "MR write out of bounds");
+    SKV_DCHECK(offset + bytes.size() <= buf_.size(), "MR write out of bounds");
     std::copy(bytes.begin(), bytes.end(), buf_.begin() + static_cast<std::ptrdiff_t>(offset));
 }
 
 std::string MemoryRegion::read(std::size_t offset, std::size_t len) const {
-    assert(offset + len <= buf_.size() && "MR read out of bounds");
+    SKV_DCHECK(offset + len <= buf_.size(), "MR read out of bounds");
     return std::string(buf_.data() + offset, len);
 }
 
 void MemoryRegion::write_wrapped(std::size_t offset, std::string_view bytes) {
-    assert(bytes.size() <= buf_.size());
+    SKV_DCHECK(bytes.size() <= buf_.size());
     offset %= buf_.size();
     const std::size_t first = std::min(bytes.size(), buf_.size() - offset);
     std::copy(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(first),
@@ -45,7 +45,7 @@ void MemoryRegion::write_wrapped(std::size_t offset, std::string_view bytes) {
 }
 
 std::string MemoryRegion::read_wrapped(std::size_t offset, std::size_t len) const {
-    assert(len <= buf_.size());
+    SKV_DCHECK(len <= buf_.size());
     offset %= buf_.size();
     std::string out;
     out.reserve(len);
@@ -118,12 +118,12 @@ QueuePair::QueuePair(RdmaNetwork& net, net::NodeRef self,
                      CompletionQueuePtr send_cq, CompletionQueuePtr recv_cq)
     : net_(net), self_(self), send_cq_(std::move(send_cq)),
       recv_cq_(std::move(recv_cq)) {
-    assert(self_.valid());
-    assert(send_cq_ && recv_cq_);
+    SKV_CHECK(self_.valid());
+    SKV_CHECK(send_cq_ && recv_cq_);
 }
 
 void QueuePair::connect_to(QueuePairPtr peer) {
-    assert(peer && peer.get() != this);
+    SKV_CHECK(peer && peer.get() != this);
     peer_ = peer;
 }
 
@@ -131,7 +131,7 @@ void QueuePair::disconnect() { peer_.reset(); }
 
 void QueuePair::post_recv(std::uint64_t wr_id, MemoryRegionPtr mr,
                           std::size_t offset, std::size_t len) {
-    assert(mr);
+    SKV_CHECK(mr);
     self_.core->consume(net_.recv_post_cost());
     recv_queue_.push_back(RecvWqe{wr_id, std::move(mr), offset, len});
     // A receive arriving while the RNR queue is non-empty unblocks the
@@ -235,7 +235,7 @@ void QueuePair::arrive(Inbound in) {
     switch (in.op) {
         case Opcode::kWrite: {
             MemoryRegionPtr mr = net_.lookup_mr(in.rkey);
-            assert(mr && "WRITE to unknown rkey");
+            SKV_DCHECK(mr, "WRITE to unknown rkey");
             if (in.wrapped) {
                 mr->write_wrapped(in.remote_offset, in.payload);
             } else {
@@ -246,7 +246,7 @@ void QueuePair::arrive(Inbound in) {
         }
         case Opcode::kWriteWithImm: {
             MemoryRegionPtr mr = net_.lookup_mr(in.rkey);
-            assert(mr && "WRITE_WITH_IMM to unknown rkey");
+            SKV_DCHECK(mr, "WRITE_WITH_IMM to unknown rkey");
             if (in.wrapped) {
                 mr->write_wrapped(in.remote_offset, in.payload);
             } else {
@@ -260,7 +260,7 @@ void QueuePair::arrive(Inbound in) {
             break;
         case Opcode::kRead:
         case Opcode::kRecv:
-            assert(false && "unexpected inbound opcode");
+            SKV_UNREACHABLE("unexpected inbound opcode");
             break;
     }
 }

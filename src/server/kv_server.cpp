@@ -3,8 +3,9 @@
 #include "kv/rdb.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
+
+#include "sim/check.hpp"
 
 namespace skv::server {
 
@@ -32,14 +33,14 @@ KvServer::KvServer(sim::Simulation& sim, const cpu::CostModel& costs,
       db_([&sim]() { return sim.now().ns() / 1'000'000; }),
       backlog_(cfg_.backlog_bytes),
       commands_table_(kv::CommandTable::instance()) {
-    assert(self_.valid());
-    assert(nets_.fabric != nullptr);
-    assert(cfg_.transport == Transport::kTcp ? nets_.tcp != nullptr
-                                             : nets_.cm != nullptr);
+    SKV_CHECK(self_.valid());
+    SKV_CHECK(nets_.fabric != nullptr);
+    SKV_DCHECK(cfg_.transport == Transport::kTcp ? nets_.tcp != nullptr
+                                                 : nets_.cm != nullptr);
 }
 
 void KvServer::start() {
-    assert(!started_);
+    SKV_CHECK(!started_);
     started_ = true;
     listen_all();
     sim_.after(cfg_.cron_interval, [this]() { cron(); });
@@ -139,6 +140,7 @@ void KvServer::on_node_accept(net::ChannelPtr ch) {
 // --- client command path ----------------------------------------------------
 
 void KvServer::on_client_data(const ClientPtr& conn, std::string payload) {
+    sim::NodeScope owner(self_.ep);
     conn->parser.feed(payload);
     std::vector<std::string> argv;
     std::string err;
@@ -332,7 +334,7 @@ void KvServer::connect_and_sync_slave(std::string slave_name,
     // Slave node ports follow the same convention: cfg_.port + 1. The
     // slave's endpoint is carried in the notify body as "<name>@<ep>".
     const auto at = slave_name.find('@');
-    assert(at != std::string::npos);
+    SKV_CHECK(at != std::string::npos);
     const auto ep = static_cast<net::EndpointId>(
         std::stoul(slave_name.substr(at + 1)));
     if (cfg_.transport == Transport::kTcp) {
@@ -345,6 +347,7 @@ void KvServer::connect_and_sync_slave(std::string slave_name,
 }
 
 void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
+    sim::NodeScope owner(self_.ep);
     switch (msg.type) {
         case NodeMsg::Type::kSync: {
             // Baseline: a slave registered over its own channel; serve the
@@ -458,6 +461,7 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
 
 void KvServer::apply_repl_stream(std::int64_t start_offset,
                                  const std::string& bytes) {
+    sim::NodeScope owner(self_.ep);
     if (start_offset > applied_offset_) {
         // Ahead of us: either data was lost while this node was down, or a
         // resync snapshot is still in flight while fan-out continues. Hold
@@ -488,7 +492,7 @@ void KvServer::drain_pending_stream() {
 
 void KvServer::apply_contiguous(std::int64_t start_offset,
                                 std::string_view view) {
-    assert(start_offset <= applied_offset_);
+    SKV_DCHECK(start_offset <= applied_offset_);
     if (start_offset < applied_offset_) {
         const auto skip = static_cast<std::size_t>(applied_offset_ - start_offset);
         if (skip >= view.size()) return; // fully stale frame
@@ -609,8 +613,7 @@ void KvServer::slaveof_skv(net::EndpointId nic_ep, std::uint16_t nic_port) {
         const std::string ident = cfg_.name + "@" + std::to_string(self_.ep);
         ch->send(NodeMsg{NodeMsg::Type::kInitSync, applied_offset_, ident}.encode());
     };
-    assert(cfg_.transport == Transport::kRdma &&
-           "SKV mode requires the RDMA transport");
+    SKV_CHECK(cfg_.transport == Transport::kRdma, "SKV mode requires the RDMA transport");
     nets_.cm->connect(self_, nic_ep, nic_port, cb);
     sim_.after(cfg_.connect_retry, [this, attempt]() {
         if (crashed_ || attempt != skv_connect_attempt_) return;
@@ -624,7 +627,7 @@ void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
     role_ = Role::kMaster;
     skv_nic_ep_ = nic_ep;
     skv_nic_port_ = nic_port;
-    assert(cfg_.offload_replication);
+    SKV_CHECK(cfg_.offload_replication);
     const std::uint64_t attempt = ++skv_connect_attempt_;
     nic_link_.reset();
     nic_attached_ = false;
@@ -649,8 +652,7 @@ void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
                          "master:" + ident}
                      .encode());
     };
-    assert(cfg_.transport == Transport::kRdma &&
-           "SKV mode requires the RDMA transport");
+    SKV_CHECK(cfg_.transport == Transport::kRdma, "SKV mode requires the RDMA transport");
     nets_.cm->connect(self_, nic_ep, nic_port, cb);
     sim_.after(cfg_.connect_retry, [this, attempt]() {
         if (crashed_ || attempt != skv_connect_attempt_) return;
@@ -663,6 +665,7 @@ void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
 // --- slave link for acks (SKV slaves ack over the master's direct channel) -----
 
 void KvServer::cron() {
+    sim::NodeScope owner(self_.ep);
     if (!crashed_) {
         // Active expiry + incremental rehash make progress even when idle.
         const std::size_t removed =
@@ -710,7 +713,7 @@ void KvServer::cron() {
 // --- fault injection ------------------------------------------------------------------
 
 void KvServer::crash() {
-    assert(!crashed_);
+    SKV_CHECK(!crashed_);
     crashed_ = true;
     self_.core->halt();
     nets_.fabric->sever(self_.ep);
@@ -718,7 +721,7 @@ void KvServer::crash() {
 }
 
 void KvServer::recover() {
-    assert(crashed_);
+    SKV_CHECK(crashed_);
     crashed_ = false;
     self_.core->resume();
     nets_.fabric->restore(self_.ep);

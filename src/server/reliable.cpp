@@ -1,7 +1,8 @@
 #include "server/reliable.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/check.hpp"
 
 namespace skv::server {
 
@@ -58,7 +59,7 @@ std::uint32_t ReliableChannel::crc32(std::string_view bytes) {
 std::shared_ptr<ReliableChannel> ReliableChannel::wrap(sim::Simulation& sim,
                                                        net::ChannelPtr inner,
                                                        ReliableParams params) {
-    assert(inner);
+    SKV_CHECK(inner);
     auto ch = std::shared_ptr<ReliableChannel>(
         new ReliableChannel(sim, std::move(inner), params));
     ch->rto_ = params.initial_rto;

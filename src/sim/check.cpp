@@ -1,0 +1,41 @@
+#include "sim/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/simulation.hpp"
+
+namespace skv::sim {
+
+DiagContext& diag() {
+    static DiagContext ctx;
+    return ctx;
+}
+
+void check_failed(const char* kind, const char* expr, const char* file,
+                  int line, const std::string& msg) {
+    const DiagContext& ctx = diag();
+    std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n", kind, expr, file,
+                 line);
+    if (!msg.empty()) {
+        std::fprintf(stderr, "  message: %s\n", msg.c_str());
+    }
+    if (ctx.sim != nullptr) {
+        std::fprintf(
+            stderr,
+            "  seed=0x%016llx sim_time=%s node=%lld events=%llu "
+            "trace_digest=0x%016llx\n",
+            static_cast<unsigned long long>(ctx.sim->seed()),
+            to_string(ctx.sim->now()).c_str(),
+            static_cast<long long>(ctx.node),
+            static_cast<unsigned long long>(ctx.sim->events_executed()),
+            static_cast<unsigned long long>(ctx.sim->trace_digest()));
+    } else {
+        std::fprintf(stderr, "  seed=<no simulation registered> node=%lld\n",
+                     static_cast<long long>(ctx.node));
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace skv::sim

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace skv::sim {
+
+class Simulation;
+
+/// Process-wide diagnostic context consulted when a check fails. The
+/// simulation registers itself on construction; components that know which
+/// simulated node they are acting for set the node id through NodeScope.
+/// The simulator is single-threaded, so one global context is enough.
+struct DiagContext {
+    const Simulation* sim = nullptr;
+    /// Fabric endpoint id of the component currently executing, -1 when no
+    /// component has claimed the scope (e.g. setup code).
+    std::int64_t node = -1;
+};
+
+DiagContext& diag();
+
+/// RAII marker: "events executing inside this scope belong to node `node`".
+/// Placed at the entry points of simulated components (command handlers,
+/// cron ticks, replication appliers) so failed checks can name the owner.
+class NodeScope {
+public:
+    explicit NodeScope(std::int64_t node) : prev_(diag().node) {
+        diag().node = node;
+    }
+    ~NodeScope() { diag().node = prev_; }
+
+    NodeScope(const NodeScope&) = delete;
+    NodeScope& operator=(const NodeScope&) = delete;
+
+private:
+    std::int64_t prev_;
+};
+
+/// Prints the failed expression, source location, optional message, and the
+/// diagnostic context (seed, sim time, owning node, event count, trace
+/// digest) to stderr, then aborts. Never returns.
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg);
+
+} // namespace skv::sim
+
+/// Always-on invariant check. On failure prints the simulation seed, current
+/// sim time and owning node id before aborting, so any violation seen in CI
+/// or a chaos run is immediately reproducible. Use for structural invariants
+/// off the per-operation hot path. An optional second argument adds a
+/// message: SKV_CHECK(x > 0, "x came from the wire").
+#define SKV_CHECK(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) [[unlikely]] {                                        \
+            ::skv::sim::check_failed("SKV_CHECK", #cond, __FILE__,         \
+                                     __LINE__, std::string(__VA_ARGS__));  \
+        }                                                                  \
+    } while (0)
+
+/// Debug-only check for per-operation hot paths; compiled out under NDEBUG
+/// (like assert), but with the same rich failure output in debug and
+/// sanitizer builds.
+#ifdef NDEBUG
+#define SKV_DCHECK(cond, ...)                  \
+    do {                                       \
+        if (false && !(cond)) { /* typecheck only */ \
+        }                                      \
+    } while (0)
+#else
+#define SKV_DCHECK(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) [[unlikely]] {                                        \
+            ::skv::sim::check_failed("SKV_DCHECK", #cond, __FILE__,        \
+                                     __LINE__, std::string(__VA_ARGS__));  \
+        }                                                                  \
+    } while (0)
+#endif
+
+/// Marks a branch the control flow must never reach (e.g. an unhandled
+/// enum value). Always on.
+#define SKV_UNREACHABLE(...)                                            \
+    ::skv::sim::check_failed("SKV_UNREACHABLE", "reached", __FILE__,    \
+                             __LINE__, std::string(__VA_ARGS__))

@@ -1,11 +1,11 @@
 #include "sim/event_queue.hpp"
+#include "sim/check.hpp"
 
-#include <cassert>
 
 namespace skv::sim {
 
 EventId EventQueue::schedule(SimTime at, Callback fn) {
-    assert(fn && "scheduling an empty callback");
+    SKV_CHECK(fn, "scheduling an empty callback");
     const std::uint64_t seq = next_seq_++;
     heap_.push(Entry{at, seq, std::move(fn)});
     live_.insert(seq);
@@ -31,7 +31,7 @@ SimTime EventQueue::next_time() {
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
     skim();
-    assert(!heap_.empty() && "pop() on an empty event queue");
+    SKV_CHECK(!heap_.empty(), "pop() on an empty event queue");
     // priority_queue::top() is const; the callback must be moved out, so
     // const_cast the entry. The entry is popped immediately afterwards, so
     // heap ordering (which ignores `fn`) is never observed in a moved-from

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cstdio>
 #include <limits>
+
+#include "sim/check.hpp"
 
 namespace skv::sim {
 
@@ -36,7 +37,7 @@ std::int64_t LatencyHistogram::bucket_upper(std::size_t idx) {
 void LatencyHistogram::record_ns(std::int64_t ns) {
     if (ns < 0) ns = 0;
     const std::size_t b = bucket_of(ns);
-    assert(b < buckets_.size());
+    SKV_DCHECK(b < buckets_.size());
     ++buckets_[b];
     ++count_;
     min_ = std::min(min_, ns);
@@ -47,7 +48,7 @@ void LatencyHistogram::record_ns(std::int64_t ns) {
 void LatencyHistogram::record(Duration d) { record_ns(d.ns()); }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
-    assert(buckets_.size() == other.buckets_.size());
+    SKV_CHECK(buckets_.size() == other.buckets_.size());
     for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
     count_ += other.count_;
     sum_ += other.sum_;

@@ -1,7 +1,8 @@
 #include "sim/rng.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "sim/check.hpp"
 
 namespace skv::sim {
 
@@ -42,7 +43,7 @@ std::uint64_t Rng::next_u64() {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t n) {
-    assert(n > 0);
+    SKV_DCHECK(n > 0);
     // Lemire-style rejection to avoid modulo bias.
     const std::uint64_t threshold = (0 - n) % n;
     for (;;) {
@@ -52,7 +53,7 @@ std::uint64_t Rng::next_below(std::uint64_t n) {
 }
 
 std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
-    assert(lo <= hi);
+    SKV_DCHECK(lo <= hi);
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     if (span == 0) return static_cast<std::int64_t>(next_u64()); // full range
     return lo + static_cast<std::int64_t>(next_below(span));
@@ -70,7 +71,7 @@ bool Rng::next_bool(double p) {
 }
 
 double Rng::next_exponential(double mean) {
-    assert(mean > 0.0);
+    SKV_DCHECK(mean > 0.0);
     // Avoid log(0) by mapping the [0,1) sample into (0,1].
     const double u = 1.0 - next_double();
     return -mean * std::log(u);
@@ -82,8 +83,8 @@ Rng Rng::fork() {
 
 ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
     : n_(n), theta_(theta) {
-    assert(n > 0);
-    assert(theta >= 0.0 && theta < 1.0);
+    SKV_CHECK(n > 0);
+    SKV_CHECK(theta >= 0.0 && theta < 1.0);
     zetan_ = zeta(n, theta);
     zeta2theta_ = zeta(2, theta);
     alpha_ = 1.0 / (1.0 - theta);

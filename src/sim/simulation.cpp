@@ -1,25 +1,34 @@
 #include "sim/simulation.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace skv::sim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
+    // Register as the diagnostic context so failed SKV_CHECKs anywhere in
+    // the process can print the seed and current sim time. Last constructed
+    // wins; tests that hold two simulations at once get the newer one.
+    diag().sim = this;
+}
+
+Simulation::~Simulation() {
+    if (diag().sim == this) diag().sim = nullptr;
+}
 
 EventId Simulation::after(Duration delay, EventQueue::Callback fn) {
-    assert(delay.ns() >= 0 && "negative delay");
+    SKV_CHECK(delay.ns() >= 0, "negative delay");
     return queue_.schedule(now_ + delay, std::move(fn));
 }
 
 EventId Simulation::at(SimTime when, EventQueue::Callback fn) {
-    assert(when >= now_ && "scheduling into the past");
+    SKV_CHECK(when >= now_, "scheduling into the past");
     return queue_.schedule(when, std::move(fn));
 }
 
 bool Simulation::step() {
     if (queue_.empty()) return false;
     auto [when, fn] = queue_.pop();
-    assert(when >= now_);
+    SKV_CHECK(when >= now_, "event queue went backwards");
     now_ = when;
     ++executed_;
     fn();

@@ -20,6 +20,7 @@ namespace skv::sim {
 class Simulation {
 public:
     explicit Simulation(std::uint64_t seed = 0x5eed'0000'cafe'f00dULL);
+    ~Simulation();
 
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
@@ -53,6 +54,10 @@ public:
     Rng fork_rng() { return rng_.fork(); }
 
     Trace& trace() { return trace_; }
+    [[nodiscard]] const Trace& trace() const { return trace_; }
+    /// Rolling determinism-audit digest (see Trace); convenience accessor
+    /// for diagnostics and double-run comparisons.
+    [[nodiscard]] std::uint64_t trace_digest() const { return trace_.digest(); }
 
     [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
     [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }

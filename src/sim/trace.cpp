@@ -18,6 +18,10 @@ void fnv_mix(std::uint64_t& h, std::int64_t v) {
     }
 }
 
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+    fnv_mix(h, static_cast<std::int64_t>(v));
+}
+
 } // namespace
 
 void Trace::emit(SimTime at, std::string component, std::string message) {
@@ -28,6 +32,14 @@ void Trace::emit(SimTime at, std::string component, std::string message) {
     fnv_mix(digest_, message);
     records_.push_back(TraceRecord{at, std::move(component), std::move(message)});
     while (records_.size() > capacity_) records_.pop_front();
+}
+
+void Trace::note(TraceEvent ev, SimTime at, std::uint64_t a, std::uint64_t b) {
+    ++noted_;
+    fnv_mix(digest_, static_cast<std::int64_t>(ev));
+    fnv_mix(digest_, at.ns());
+    fnv_mix(digest_, a);
+    fnv_mix(digest_, b);
 }
 
 std::vector<std::string> Trace::format() const {
@@ -43,6 +55,7 @@ void Trace::clear() {
     records_.clear();
     digest_ = 0xcbf29ce484222325ULL;
     total_ = 0;
+    noted_ = 0;
 }
 
 } // namespace skv::sim

@@ -1,6 +1,6 @@
 #include "skv/cluster.hpp"
+#include "sim/check.hpp"
 
-#include <cassert>
 
 namespace skv::offload {
 
@@ -10,7 +10,7 @@ Cluster::Cluster(ClusterConfig cfg)
       cm_(rdma_) {}
 
 void Cluster::start() {
-    assert(!started_);
+    SKV_CHECK(!started_);
     started_ = true;
 
     server::KvServer::Transports nets{&fabric_, &tcp_, &cm_};

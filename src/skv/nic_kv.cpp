@@ -1,10 +1,10 @@
 #include "skv/nic_kv.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "kv/sds.hpp"
 #include "rdma/ring_channel.hpp"
+#include "sim/check.hpp"
 
 namespace skv::offload {
 
@@ -16,7 +16,7 @@ NicKv::NicKv(sim::Simulation& sim, const cpu::CostModel& costs,
       rng_(sim.fork_rng()) {}
 
 void NicKv::start() {
-    assert(!started_);
+    SKV_CHECK(!started_);
     started_ = true;
     // The NIC switch steers this service port up to the ARM cores.
     nic_.steer(cfg_.port, nic::SteerTarget::kNicCores);
@@ -37,6 +37,7 @@ void NicKv::on_accept(net::ChannelPtr ch) {
     auto raw = ch.get();
     ch->set_on_message([this, raw](std::string payload) {
         // Recover the shared_ptr from the node list (or transiently wrap).
+        sim::NodeScope owner_node(endpoint());
         const auto msg = NodeMsg::decode(payload);
         if (!msg.has_value()) {
             stats_.incr("malformed");
@@ -290,6 +291,7 @@ void NicKv::handle_probe_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {
 }
 
 void NicKv::probe_cycle() {
+    sim::NodeScope owner(endpoint());
     ++probe_round_;
     for (auto& e : nodes_) {
         if (!e.channel || !e.channel->open()) continue;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,35 @@ private:
     bool done_ = false;
 };
 
+/// Determinism-audit hook: when a chaos test fails, print the run's seed and
+/// the rolling trace digest (see sim::Trace::note). A failing scenario can
+/// then be bisected by rerunning the seed and diffing digests at
+/// intermediate sim times to find the first divergent event.
+class DigestReporter {
+public:
+    explicit DigestReporter(Cluster& c) : cluster_(c) {}
+    ~DigestReporter() {
+        if (::testing::Test::HasFailure()) {
+            std::fprintf(stderr,
+                         "[chaos-audit] seed=0x%016llx trace_digest=0x%016llx "
+                         "events=%llu noted=%llu\n",
+                         static_cast<unsigned long long>(cluster_.sim().seed()),
+                         static_cast<unsigned long long>(
+                             cluster_.sim().trace_digest()),
+                         static_cast<unsigned long long>(
+                             cluster_.sim().events_executed()),
+                         static_cast<unsigned long long>(
+                             cluster_.sim().trace().total_noted()));
+        }
+    }
+
+    DigestReporter(const DigestReporter&) = delete;
+    DigestReporter& operator=(const DigestReporter&) = delete;
+
+private:
+    Cluster& cluster_;
+};
+
 std::unique_ptr<Cluster> make_skv(int slaves, std::uint64_t seed,
                                   int min_slaves = 0) {
     ClusterConfig cfg;
@@ -112,6 +142,7 @@ void expect_acked_everywhere(Cluster& c, const std::vector<std::string>& keys) {
 TEST(Chaos, DropLossConvergesAcrossSeeds) {
     for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
         auto c = make_skv(3, seed);
+        DigestReporter audit(*c);
         net::FaultSpec loss;
         loss.drop_prob = 0.01;
         fault_repl_links(*c, loss);
@@ -136,6 +167,7 @@ TEST(Chaos, DropLossConvergesAcrossSeeds) {
 TEST(Chaos, DeterministicUnderChaos) {
     auto run_once = [](std::uint64_t seed) {
         auto c = make_skv(3, seed);
+        DigestReporter audit(*c);
         net::FaultSpec mess;
         mess.drop_prob = 0.02;
         mess.dup_prob = 0.02;
@@ -147,6 +179,7 @@ TEST(Chaos, DeterministicUnderChaos) {
         c->sim().run_until(c->sim().now() + sim::seconds(5));
         std::string fingerprint;
         fingerprint += std::to_string(c->sim().events_executed()) + "|";
+        fingerprint += std::to_string(c->sim().trace_digest()) + "|";
         fingerprint += std::to_string(c->master().master_offset()) + "|";
         fingerprint += std::to_string(driver.acked().size()) + "|";
         fingerprint += c->fabric().faults().stats().format() + "|";
@@ -162,6 +195,7 @@ TEST(Chaos, DeterministicUnderChaos) {
 
 TEST(Chaos, DuplicationAndJitterAreHarmless) {
     auto c = make_skv(3, 101);
+    DigestReporter audit(*c);
     net::FaultSpec mess;
     mess.dup_prob = 0.05;
     mess.jitter_prob = 0.3;
@@ -183,6 +217,7 @@ TEST(Chaos, DuplicationAndJitterAreHarmless) {
 
 TEST(Chaos, NoFalseFailoverUnderJitterBelowWaitingTime) {
     auto c = make_skv(3, 202);
+    DigestReporter audit(*c);
     // Aggressive jitter, but far below waiting-time (1500ms): the detector
     // must not fire (paper §III-D correctness under slow links).
     net::FaultSpec jitter;
@@ -202,6 +237,7 @@ TEST(Chaos, NoFalseFailoverUnderJitterBelowWaitingTime) {
 
 TEST(Chaos, AsymmetricPartitionDetectedAndHealed) {
     auto c = make_skv(2, 303);
+    DigestReporter audit(*c);
     c->sim().run_until(c->sim().now() + sim::seconds(2));
 
     // One-directional cut: the NIC can no longer reach slave0 (probes and
@@ -239,6 +275,7 @@ TEST(Chaos, AsymmetricPartitionDetectedAndHealed) {
 
 TEST(Chaos, MinSlavesGatingUnderPartitionAndRecovery) {
     auto c = make_skv(3, 404, /*min_slaves=*/3);
+    DigestReporter audit(*c);
     c->sim().run_until(c->sim().now() + sim::seconds(2));
 
     SetDriver before(*c, "a");
@@ -273,6 +310,7 @@ TEST(Chaos, MinSlavesGatingUnderPartitionAndRecovery) {
 
 TEST(Chaos, LinkFlapsLoseNoAcknowledgedWrites) {
     auto c = make_skv(3, 505);
+    DigestReporter audit(*c);
     // 150ms outage every second on the replication links: well under
     // waiting-time, so the detector must hold steady while the reliable
     // layer rides through the flaps.
@@ -295,6 +333,7 @@ TEST(Chaos, LinkFlapsLoseNoAcknowledgedWrites) {
 
 TEST(Chaos, MasterCrashFailoverStillWorksUnderLoss) {
     auto c = make_skv(2, 606);
+    DigestReporter audit(*c);
     net::FaultSpec loss;
     loss.drop_prob = 0.01;
     fault_repl_links(*c, loss);

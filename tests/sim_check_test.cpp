@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sim/check.hpp"
+#include "sim/simulation.hpp"
+
+namespace skv::sim {
+namespace {
+
+/// The diagnostic layer's contract: a failed check must identify the run
+/// (seed), the moment (sim time), and the owner (node id) so any abort seen
+/// in CI is immediately reproducible. Death tests assert each field appears
+/// on stderr.
+
+void fail_inside_sim() {
+    Simulation s(0x00abcdef12345678ULL);
+    s.after(microseconds(50), [] {
+        NodeScope scope(7);
+        SKV_CHECK(1 == 2, "boom message");
+    });
+    s.run();
+}
+
+TEST(CheckDeathTest, PrintsExpressionAndMessage) {
+    EXPECT_DEATH(fail_inside_sim(), "SKV_CHECK failed: 1 == 2");
+    EXPECT_DEATH(fail_inside_sim(), "message: boom message");
+}
+
+TEST(CheckDeathTest, PrintsSeed) {
+    EXPECT_DEATH(fail_inside_sim(), "seed=0x00abcdef12345678");
+}
+
+TEST(CheckDeathTest, PrintsSimTime) {
+    EXPECT_DEATH(fail_inside_sim(), "sim_time=50.000us");
+}
+
+TEST(CheckDeathTest, PrintsOwningNode) {
+    EXPECT_DEATH(fail_inside_sim(), "node=7");
+}
+
+TEST(CheckDeathTest, UnreachableAborts) {
+    EXPECT_DEATH(SKV_UNREACHABLE("fell off the enum"),
+                 "SKV_UNREACHABLE failed");
+}
+
+TEST(CheckDeathTest, NoSimulationStillReports) {
+    // Checks can fire from setup code before any Simulation exists.
+    EXPECT_DEATH(SKV_CHECK(false, "early"), "no simulation registered");
+}
+
+TEST(Check, PassingCheckIsSilentAndSideEffectFree) {
+    int calls = 0;
+    auto bump = [&calls] {
+        ++calls;
+        return true;
+    };
+    SKV_CHECK(bump(), "must not fire");
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, NodeScopeRestoresOnExit) {
+    EXPECT_EQ(diag().node, -1);
+    {
+        NodeScope outer(3);
+        EXPECT_EQ(diag().node, 3);
+        {
+            NodeScope inner(9);
+            EXPECT_EQ(diag().node, 9);
+        }
+        EXPECT_EQ(diag().node, 3);
+    }
+    EXPECT_EQ(diag().node, -1);
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+    int calls = 0;
+    auto bump = [&calls] {
+        ++calls;
+        return true;
+    };
+    SKV_DCHECK(bump());
+#ifdef NDEBUG
+    EXPECT_EQ(calls, 0) << "SKV_DCHECK must compile out under NDEBUG";
+#else
+    EXPECT_EQ(calls, 1) << "SKV_DCHECK must evaluate in debug builds";
+#endif
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckAbortsInDebug) {
+    EXPECT_DEATH(SKV_DCHECK(false, "debug only"), "SKV_DCHECK failed");
+}
+#endif
+
+} // namespace
+} // namespace skv::sim

@@ -1,0 +1,7 @@
+// Fixture: an allow-comment without a reason is a configuration error
+// (exit 2), keeping exceptions self-documenting.
+#include <cstdio>
+
+void out() {
+    printf("hi\n");  // simlint:allow(stdout-io)
+}

@@ -1,0 +1,9 @@
+// Fixture: the assert() must trigger [bare-assert]; static_assert must not.
+#include <cassert>
+
+static_assert(sizeof(int) >= 4, "ok: compile-time");
+
+int half(int x) {
+    assert(x % 2 == 0);  // finding
+    return x / 2;
+}

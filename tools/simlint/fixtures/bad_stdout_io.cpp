@@ -1,0 +1,13 @@
+// Fixture: the marked lines must trigger [stdout-io]; fprintf(stderr) and
+// snprintf must not.
+#include <cstdio>
+#include <iostream>
+
+void report(int n) {
+    std::cout << "n=" << n << "\n";          // finding
+    printf("n=%d\n", n);                     // finding
+    puts("done");                            // finding
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", n);  // ok
+    std::fprintf(stderr, "diag %s\n", buf);    // ok
+}

@@ -1,0 +1,25 @@
+// Fixture: the loops below must trigger [unordered-iteration];
+// point lookup and insert must NOT.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Registry {
+    std::unordered_map<std::string, int> table_;
+    std::unordered_set<int> live_;
+
+    int sum() const {
+        int s = 0;
+        for (const auto& [k, v] : table_) {  // finding: range-for
+            s += v;
+        }
+        for (auto it = live_.begin(); it != live_.end(); ++it) {  // finding: begin()
+            s += *it;
+        }
+        return s;
+    }
+
+    bool fine(const std::string& k) const {
+        return table_.contains(k) && live_.count(1) > 0;  // ok: point lookups
+    }
+};

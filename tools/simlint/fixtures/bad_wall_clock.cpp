@@ -1,0 +1,15 @@
+// Fixture: every marked line must trigger [wall-clock].
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long now_ns() {
+    auto t0 = std::chrono::steady_clock::now();          // finding
+    auto t1 = std::chrono::system_clock::now();          // finding
+    auto t2 = std::chrono::high_resolution_clock::now(); // finding
+    std::time_t t = time(nullptr);                       // finding
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);                          // finding
+    (void)t0; (void)t1; (void)t2;
+    return static_cast<long>(t) + tv.tv_sec;
+}

@@ -1,0 +1,27 @@
+// Fixture: must produce zero findings. Mentions of banned names inside
+// comments and string literals are not code:
+//   std::random_device, steady_clock, assert(x), std::cout
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+static const char* kDoc = "call rand() and time(nullptr) at your peril";
+
+struct Clean {
+    std::unordered_map<std::string, int> index_;  // ok: declared, never iterated
+    std::map<std::string, int> ordered_;
+
+    int lookup(const std::string& k) const {
+        auto it = index_.find(k);  // ok: point lookup
+        return it == index_.end() ? 0 : it->second;
+    }
+
+    int total() const {
+        int s = 0;
+        for (const auto& [k, v] : ordered_) s += v;  // ok: ordered container
+        return s;
+    }
+};
+
+const char* doc() { return kDoc; }

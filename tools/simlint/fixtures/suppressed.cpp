@@ -1,0 +1,23 @@
+// Fixture: every violation carries a simlint:allow with a reason, so the
+// file must lint clean.
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void diagnostics(int n) {
+    // simlint:allow(stdout-io) CLI entry point, stdout is the product
+    printf("result=%d\n", n);
+}
+
+int checked(int x) {
+    assert(x > 0);  // simlint:allow(bare-assert) host-side tool, no sim context to report
+    return x;
+}
+
+int drain(const std::unordered_map<std::string, int>& m) {
+    int s = 0;
+    // simlint:allow(unordered-iteration) order-insensitive sum, result does not feed the sim
+    for (const auto& [k, v] : m) s += v;
+    return s;
+}

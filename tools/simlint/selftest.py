@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Self-test for simlint: runs the checker over the fixture files and
+asserts that each rule fires where seeded, the clean file passes, and
+suppression comments behave. Registered as the ctest `simlint_selftest`."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SIMLINT = HERE / "simlint.py"
+FIXTURES = HERE / "fixtures"
+
+failures: list[str] = []
+
+
+def run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SIMLINT), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+def expect(name: str, cond: bool, context: str = "") -> None:
+    if cond:
+        print(f"  ok  {name}")
+    else:
+        failures.append(name)
+        print(f"FAIL  {name}\n{context}")
+
+
+def check_bad(fixture: str, rule: str, min_findings: int) -> None:
+    r = run(str(FIXTURES / fixture))
+    hits = [l for l in r.stdout.splitlines() if f"[{rule}]" in l]
+    expect(
+        f"{fixture} triggers [{rule}] x{min_findings}",
+        r.returncode == 1 and len(hits) >= min_findings,
+        f"  exit={r.returncode}\n  stdout:\n{r.stdout}",
+    )
+    # Findings must be file:line-addressable for CI triage.
+    expect(
+        f"{fixture} findings carry file:line",
+        all(f"{fixture}:" in l for l in hits) and all(
+            l.split(":")[1].isdigit() for l in hits
+        ),
+        f"  stdout:\n{r.stdout}",
+    )
+
+
+def main() -> int:
+    check_bad("bad_raw_rng.cpp", "raw-rng", 4)
+    check_bad("bad_wall_clock.cpp", "wall-clock", 5)
+    check_bad("bad_unordered_iteration.cpp", "unordered-iteration", 2)
+    check_bad("bad_bare_assert.cpp", "bare-assert", 1)
+    check_bad("bad_stdout_io.cpp", "stdout-io", 3)
+
+    # Rules must not bleed into each other's fixtures beyond what's seeded:
+    r = run(str(FIXTURES / "bad_bare_assert.cpp"))
+    expect(
+        "static_assert is not flagged",
+        len([l for l in r.stdout.splitlines() if "[bare-assert]" in l]) == 1,
+        r.stdout,
+    )
+    r = run(str(FIXTURES / "bad_stdout_io.cpp"))
+    expect(
+        "snprintf/fprintf(stderr) are not flagged",
+        len([l for l in r.stdout.splitlines() if "[stdout-io]" in l]) == 3,
+        r.stdout,
+    )
+    r = run(str(FIXTURES / "bad_unordered_iteration.cpp"))
+    expect(
+        "point lookups on unordered containers are not flagged",
+        len([l for l in r.stdout.splitlines() if "unordered" in l]) == 2,
+        r.stdout,
+    )
+
+    r = run(str(FIXTURES / "clean.cpp"))
+    expect("clean.cpp passes", r.returncode == 0 and not r.stdout.strip(),
+           f"  exit={r.returncode}\n{r.stdout}")
+
+    r = run(str(FIXTURES / "suppressed.cpp"))
+    expect("suppression comments with reasons silence findings",
+           r.returncode == 0 and not r.stdout.strip(),
+           f"  exit={r.returncode}\n{r.stdout}")
+
+    r = run(str(FIXTURES / "bad_allow_missing_reason.cpp"))
+    expect("allow-comment without reason is a config error (exit 2)",
+           r.returncode == 2 and "missing the mandatory reason" in r.stderr,
+           f"  exit={r.returncode}\n{r.stderr}")
+
+    # The blessed implementations keep their exemptions.
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td) / "src" / "sim"
+        root.mkdir(parents=True)
+        rng = root / "rng.cpp"
+        rng.write_text("#include <random>\nstd::mt19937 g; // blessed home\n")
+        clock = root / "time.cpp"
+        clock.write_text("#include <chrono>\nauto t = "
+                         "std::chrono::steady_clock::now();\n")
+        r = run(str(rng), str(clock))
+        expect("src/sim/rng.* and src/sim/time.* are exempt from their rules",
+               r.returncode == 0,
+               f"  exit={r.returncode}\n{r.stdout}")
+
+        # compile_commands.json driving: only files under --src-root are
+        # linted, and headers are swept in.
+        outside = Path(td) / "bench.cpp"
+        outside.write_text("int x = rand();\n")
+        bad_hdr = Path(td) / "src" / "bad.hpp"
+        bad_hdr.write_text("#include <cstdlib>\ninline int r() { return rand(); }\n")
+        db = Path(td) / "compile_commands.json"
+        db.write_text(json.dumps([
+            {"directory": td, "file": str(rng), "command": "c++ -c"},
+            {"directory": td, "file": str(outside), "command": "c++ -c"},
+        ]))
+        r = run("--compile-commands", str(db), "--src-root", str(Path(td) / "src"))
+        expect(
+            "compile-commands mode scopes to src-root and sweeps headers",
+            r.returncode == 1 and "bad.hpp" in r.stdout
+            and "bench.cpp" not in r.stdout,
+            f"  exit={r.returncode}\n{r.stdout}",
+        )
+
+    if failures:
+        print(f"\nsimlint selftest: {len(failures)} failure(s)")
+        return 1
+    print("\nsimlint selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

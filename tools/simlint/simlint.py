@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""simlint — project-specific determinism / safety lint for the SKV DES.
+
+Every guarantee this repository makes (bit-identical reruns, the figure
+regression curves, the chaos suite) rests on the discrete-event simulation
+staying deterministic. This checker enforces the source-level rules that
+keep it that way; see DESIGN.md "Determinism rules" for the rationale.
+
+Rules
+  raw-rng             rand()/srand()/std::random_device/std::mt19937/... are
+                      banned outside src/sim/rng.* — all randomness must flow
+                      from the seeded xoshiro Rng.
+  wall-clock          system_clock/steady_clock/time()/gettimeofday/... are
+                      banned outside src/sim/time.* — sim code may only
+                      observe SimTime.
+  unordered-iteration iterating a std::unordered_{map,set} is banned in
+                      sim-visible code: iteration order is
+                      implementation-defined and leaks into event scheduling.
+                      Lookup/insert/erase are fine.
+  bare-assert         assert() is banned in src/ — use SKV_CHECK/SKV_DCHECK
+                      (sim/check.hpp), which print seed, sim time and owning
+                      node on failure.
+  stdout-io           std::cout / printf / puts are banned in library code —
+                      components report through sim::Trace / StatsRegistry;
+                      diagnostics go to stderr.
+
+Suppressions
+  A finding on line N is suppressed by a comment on line N or line N-1:
+      // simlint:allow(<rule>) <reason>
+  The reason is mandatory; an allow-comment without one is itself an error,
+  so every intentional exception stays self-documenting.
+
+Usage
+  simlint.py --compile-commands build/compile_commands.json --src-root src
+  simlint.py file1.cpp file2.hpp          # explicit files (fixture testing)
+
+Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Rule definitions
+
+RAW_RNG = re.compile(
+    r"""(?<![\w:])(?:
+        rand\s*\( |
+        srand\s*\( |
+        [ld]rand48\s*\( |
+        (?:std\s*::\s*)?random_device\b |
+        (?:std\s*::\s*)?mt19937(?:_64)?\b |
+        (?:std\s*::\s*)?minstd_rand0?\b |
+        (?:std\s*::\s*)?default_random_engine\b |
+        (?:std\s*::\s*)?(?:uniform_int|uniform_real|bernoulli|normal|
+                          exponential|poisson)_distribution\b |
+        (?:std\s*::\s*)?(?:random_)?shuffle\s*[(<]
+    )""",
+    re.X,
+)
+
+WALL_CLOCK = re.compile(
+    r"""(?<![\w:])(?:
+        (?:std\s*::\s*)?(?:chrono\s*::\s*)?(?:system_clock|steady_clock|
+                                             high_resolution_clock)\b |
+        time\s*\(\s*(?:NULL|nullptr|0|&)?[\w\s]*\) |
+        clock\s*\(\s*\) |
+        gettimeofday\s*\( |
+        clock_gettime\s*\( |
+        localtime(?:_r)?\s*\( |
+        gmtime(?:_r)?\s*\(
+    )""",
+    re.X,
+)
+
+BARE_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
+
+STDOUT_IO = re.compile(
+    r"""(?:
+        (?<![\w:])std\s*::\s*cout\b |
+        (?<![\w:])printf\s*\( |
+        (?<![\w:])puts\s*\(
+    )""",
+    re.X,
+)
+
+UNORDERED_DECL = re.compile(r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+
+ALLOW = re.compile(r"//\s*simlint:allow\(([\w-]+)\)\s*(.*)")
+
+RULES = {
+    "raw-rng": "raw RNG source; use sim::Rng (src/sim/rng.hpp) so results are seed-determined",
+    "wall-clock": "wall-clock read; sim code must use sim::SimTime (src/sim/time.hpp)",
+    "unordered-iteration": "iteration over an unordered container; order is implementation-defined and leaks into event scheduling",
+    "bare-assert": "bare assert(); use SKV_CHECK/SKV_DCHECK (sim/check.hpp) for seed/sim-time/node diagnostics",
+    "stdout-io": "stdout in library code; report via sim::Trace/StatsRegistry, diagnostics to stderr",
+}
+
+# Files where a rule is allowed by design (the single blessed implementation).
+EXEMPT = {
+    "raw-rng": (re.compile(r"(?:^|/)src/sim/rng\.(?:hpp|cpp)$"),),
+    "wall-clock": (re.compile(r"(?:^|/)src/sim/time\.(?:hpp|cpp)$"),),
+}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, detail: str = ""):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.detail = detail
+
+    def __str__(self) -> str:
+        msg = RULES[self.rule]
+        if self.detail:
+            msg = f"{msg} ({self.detail})"
+        return f"{self.path}:{self.line}: [{self.rule}] {msg}"
+
+
+def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blank out string/char literals and comments so rule regexes only see
+    code. Returns (code, still_in_block_comment). Column positions are
+    preserved so findings stay on the right line."""
+    out = []
+    i = 0
+    n = len(line)
+    state = "block" if in_block_comment else "code"
+    while i < n:
+        c = line[i]
+        if state == "code":
+            if c == '"':
+                # raw strings R"( ... )" are rare here; handle the plain form
+                out.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        out.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == '"':
+                        out.append(" ")
+                        i += 1
+                        break
+                    out.append(" ")
+                    i += 1
+                continue
+            if c == "'":
+                out.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        out.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == "'":
+                        out.append(" ")
+                        i += 1
+                        break
+                    out.append(" ")
+                    i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                out.append(" " * (n - i))
+                i = n
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c)
+            i += 1
+        else:  # block comment
+            if c == "*" and i + 1 < n and line[i + 1] == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            i += 1
+    return "".join(out), state == "block"
+
+
+def exempt(rule: str, path: Path) -> bool:
+    posix = path.as_posix()
+    return any(pat.search(posix) for pat in EXEMPT.get(rule, ()))
+
+
+def unordered_names(code_lines: list[str]) -> set[str]:
+    """Names of variables/members declared with an unordered container type
+    anywhere in the file (heuristic: identifier following the closing '>' of
+    an unordered_* template argument list, also through alias declarations)."""
+    text = "\n".join(code_lines)
+    names: set[str] = set()
+    aliases: set[str] = set()
+    for m in UNORDERED_DECL.finditer(text):
+        # walk the balanced <...> to its end
+        i = text.index("<", m.start())
+        depth = 0
+        while i < len(text):
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        tail = text[i + 1 : i + 200]
+        # using Alias = std::unordered_map<...>;
+        head = text[max(0, m.start() - 120) : m.start()]
+        am = re.search(r"using\s+(\w+)\s*=\s*$", head)
+        if am:
+            aliases.add(am.group(1))
+            continue
+        dm = re.match(r"[&\s]*(\w+)\s*[;={(]", tail)
+        if dm and dm.group(1) not in ("const", "final", "override"):
+            names.add(dm.group(1))
+    for alias in aliases:
+        for m in re.finditer(rf"(?<![\w:]){alias}\s+(\w+)\s*[;={{(]", text):
+            names.add(m.group(1))
+    return names
+
+
+def check_file(path: Path, library_code: bool) -> list[Finding]:
+    try:
+        raw_lines = path.read_text(errors="replace").split("\n")
+    except OSError as e:
+        print(f"simlint: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    # Pass 1: collect suppressions and comment-stripped code.
+    allows: dict[int, str] = {}  # line no -> rule
+    findings: list[Finding] = []
+    code_lines: list[str] = []
+    in_block = False
+    for lineno, line in enumerate(raw_lines, 1):
+        am = ALLOW.search(line)
+        if am:
+            rule, reason = am.group(1), am.group(2).strip()
+            if rule not in RULES:
+                # Unknown rule names are configuration errors, not findings.
+                print(
+                    f"{path}:{lineno}: simlint:allow names unknown rule "
+                    f"'{rule}' (known: {', '.join(sorted(RULES))})",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            if not reason:
+                print(
+                    f"{path}:{lineno}: simlint:allow({rule}) is missing the "
+                    f"mandatory reason text",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            allows[lineno] = rule
+        code, in_block = strip_code(line, in_block)
+        code_lines.append(code)
+
+    def suppressed(lineno: int, rule: str) -> bool:
+        return allows.get(lineno) == rule or allows.get(lineno - 1) == rule
+
+    unordered = unordered_names(code_lines)
+
+    seen: set[tuple[int, str]] = set()
+
+    for lineno, code in enumerate(code_lines, 1):
+        def report(rule: str, detail: str = "") -> None:
+            if exempt(rule, path) or suppressed(lineno, rule):
+                return
+            if (lineno, rule) in seen:
+                return
+            seen.add((lineno, rule))
+            findings.append(Finding(path, lineno, rule, detail))
+
+        if RAW_RNG.search(code):
+            report("raw-rng")
+        if WALL_CLOCK.search(code):
+            report("wall-clock")
+        if BARE_ASSERT.search(code):
+            report("bare-assert")
+        if library_code and STDOUT_IO.search(code):
+            report("stdout-io")
+        # unordered-iteration: range-for over a tracked name, begin()/cbegin()
+        # on a tracked name, or range-for directly over an unordered temporary.
+        for m in re.finditer(r"for\s*\([^;)]*:\s*([\w.\->]+)\s*\)", code):
+            base = m.group(1).split(".")[-1].split("->")[-1]
+            if base in unordered:
+                report("unordered-iteration", f"range-for over '{base}'")
+        # begin() starts an iteration; a lone end() is the find()-idiom
+        # sentinel and stays legal.
+        for m in re.finditer(r"(\w+)\s*\.\s*c?r?begin\s*\(", code):
+            if m.group(1) in unordered:
+                report("unordered-iteration", f"'{m.group(1)}.begin()'")
+        if re.search(r"for\s*\([^;)]*:\s*[^)]*unordered_(?:map|set)", code):
+            report("unordered-iteration", "range-for over unordered temporary")
+
+    return findings
+
+
+def files_from_compile_commands(db_path: Path, src_root: Path) -> list[Path]:
+    try:
+        entries = json.loads(db_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"simlint: cannot load {db_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    root = src_root.resolve()
+    out: set[Path] = set()
+    for entry in entries:
+        f = Path(entry["directory"], entry["file"]).resolve() \
+            if not Path(entry["file"]).is_absolute() else Path(entry["file"])
+        try:
+            f.relative_to(root)
+        except ValueError:
+            continue
+        out.add(f)
+    # Headers never appear in the compile database; lint them too.
+    for h in root.rglob("*.hpp"):
+        out.add(h.resolve())
+    for h in root.rglob("*.h"):
+        out.add(h.resolve())
+    return sorted(out)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--compile-commands", type=Path,
+                    help="compile_commands.json to take the file list from")
+    ap.add_argument("--src-root", type=Path, default=Path("src"),
+                    help="only lint files under this root (default: src)")
+    ap.add_argument("--no-library-rules", action="store_true",
+                    help="skip rules that only apply to library code (stdout-io)")
+    ap.add_argument("files", nargs="*", type=Path,
+                    help="explicit files to lint (overrides --compile-commands)")
+    args = ap.parse_args()
+
+    if args.files:
+        files = args.files
+    elif args.compile_commands:
+        files = files_from_compile_commands(args.compile_commands, args.src_root)
+    else:
+        ap.error("need either explicit files or --compile-commands")
+
+    if not files:
+        print("simlint: no files to lint", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(check_file(f, library_code=not args.no_library_rules))
+
+    for fi in findings:
+        print(fi)
+    if findings:
+        print(f"simlint: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"simlint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
