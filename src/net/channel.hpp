@@ -26,11 +26,31 @@ struct NodeRef {
 /// Delivery is asynchronous: send() returns immediately after charging the
 /// local transport cost; the peer's message handler fires when the payload
 /// has crossed the simulated network and the peer paid its receive cost.
+///
+/// Ownership model (see DESIGN.md "Ownership model"): the accepting or
+/// connecting component owns the channel via this shared_ptr. The message
+/// handler installed with set_on_message() is *stored inside the channel*,
+/// so a handler must never capture an owning shared_ptr to any object that
+/// (transitively) owns the channel — that is a reference cycle and the
+/// whole connection graph outlives the link. Capture a weak_ptr and lock it
+/// per message instead (tools/simlint2 reports violations as [cycle]).
+/// close() additionally clears the installed handler — deferred one sim
+/// event so a handler may close its own channel mid-delivery — which makes
+/// teardown safe even where a cycle slipped through.
 class Channel {
 public:
     using MessageHandler = std::function<void(std::string payload)>;
 
-    virtual ~Channel() = default;
+    Channel() { ++live_count_; }
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+    virtual ~Channel() { --live_count_; }
+
+    /// Number of channel objects currently alive (all transports, both
+    /// ends, including reliable wrappers). The lifetime regression test
+    /// asserts this drops when links sever — while the sim is running, not
+    /// at process exit.
+    [[nodiscard]] static long live_count() { return live_count_; }
 
     /// Queue `payload` for transmission to the peer.
     virtual void send(std::string payload) = 0;
@@ -50,6 +70,10 @@ public:
     /// Bytes queued locally but not yet accepted by the transport (send
     /// backlog). Used by replication-lag accounting.
     [[nodiscard]] virtual std::size_t backlog_bytes() const = 0;
+
+private:
+    // The simulation is single-threaded; a plain counter is deterministic.
+    inline static long live_count_ = 0;
 };
 
 using ChannelPtr = std::shared_ptr<Channel>;

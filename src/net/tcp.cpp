@@ -94,12 +94,32 @@ void TcpChannel::set_on_message(MessageHandler handler) {
     }
 }
 
-void TcpChannel::close() {
-    // Half-close: this side stops sending and receiving, but data already
-    // on the wire toward the peer still arrives (FIN does not beat it).
+void TcpChannel::teardown() {
+    if (!open_) return;
     open_ = false;
     pending_.clear();
-    if (auto remote = remote_.lock()) {
+    net_.simulation().trace().note(sim::TraceEvent::kChannelClose,
+                                   net_.simulation().now(), self_.ep, peer_);
+    if (on_message_) {
+        // The handler may be the very function object we are executing
+        // inside (a handler closing its own channel), so destroying it
+        // synchronously would free a lambda mid-call. Defer the clear one
+        // sim event; delivery is already cut off by open_ == false.
+        net_.simulation().trace().note(sim::TraceEvent::kHandlerClear,
+                                       net_.simulation().now(), self_.ep, peer_);
+        auto self = shared_from_this();
+        net_.simulation().after(sim::Duration::zero(),
+                                [self]() { self->on_message_ = nullptr; });
+    }
+}
+
+void TcpChannel::close() {
+    if (!open_) return;
+    // Half-close: this side stops sending and receiving, but data already
+    // on the wire toward the peer still arrives (FIN does not beat it).
+    auto remote = remote_.lock();
+    teardown();
+    if (remote) {
         // The peer learns of the close asynchronously (FIN). The FIN rides
         // the same kernel send path, so it cannot overtake replies that
         // were queued before the close.
@@ -111,7 +131,7 @@ void TcpChannel::close() {
                     // with the data segments that preceded it.
                     remote->self_.core->submit(
                         remote->net_.costs().tcp_side_cost(0),
-                        [remote]() { remote->open_ = false; });
+                        [remote]() { remote->teardown(); });
                 });
         });
     }

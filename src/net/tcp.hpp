@@ -78,6 +78,10 @@ private:
 
     void wire(std::shared_ptr<TcpChannel> remote) { remote_ = std::move(remote); }
     void deliver(std::string payload);
+    /// Local half of close(): stop delivery, release buffered payloads and
+    /// (deferred) the installed handler. Runs on explicit close and on FIN
+    /// receipt so both ends release their object graphs.
+    void teardown();
 
     TcpNetwork& net_;
     NodeRef self_;

@@ -32,9 +32,13 @@ void ConnectionManager::connect(net::NodeRef from, net::EndpointId to,
                                                      std::move(on_connected)]() mutable {
         auto it = listeners_.find(ListenerKey{to, port});
         if (it == listeners_.end()) {
-            // REJ back to the initiator.
+            // REJ back to the initiator; the client's pre-allocated ring
+            // (CQs, recv MR) is torn down with the refused connection
+            // instead of lingering registered forever.
             net_.fabric().send(to, from.ep, kCtrlBytes,
-                               [on_connected = std::move(on_connected)]() {
+                               [client_ch,
+                                on_connected = std::move(on_connected)]() {
+                                   client_ch->close();
                                    if (on_connected) on_connected(nullptr);
                                });
             return;

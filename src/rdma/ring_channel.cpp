@@ -21,8 +21,8 @@ RingChannel::RingChannel(RdmaNetwork& net, net::NodeRef self,
 
 void RingChannel::init_local() {
     channel_ = std::make_shared<CompletionChannel>(net_.simulation());
-    send_cq_ = std::make_shared<CompletionQueue>(channel_.get());
-    recv_cq_ = std::make_shared<CompletionQueue>(channel_.get());
+    send_cq_ = std::make_shared<CompletionQueue>(channel_);
+    recv_cq_ = std::make_shared<CompletionQueue>(channel_);
     recv_mr_ = net_.register_mr(self_, params_.ring_bytes);
     auto weak = weak_from_this();
     channel_->set_on_event([weak]() {
@@ -143,6 +143,7 @@ void RingChannel::on_cq_event() {
             if (!self->open_) return;
             self->batch_data_bytes_ = 0;
             for (const auto& c : self->recv_cq_->poll()) self->handle_completion(c);
+            if (!self->open_) return; // handler closed us mid-batch
             // If one batch drained (almost) the sender's whole window, the
             // ring had filled: per the paper's protocol the receive MR is
             // re-registered before its information is announced again.
@@ -152,14 +153,21 @@ void RingChannel::on_cq_event() {
                 self->self_.core->consume(self->net_.costs().mr_register);
                 ++self->reregs_;
             }
-            self->send_cq_->poll(); // send completions: bookkeeping only
+            // Data frames are unsignaled (selective signaling), so the send
+            // CQ only ever holds failed-post completions for credit SENDs;
+            // the credit protocol already recovers those via the next credit.
+            self->send_cq_->poll(); // simlint2:allow(unchecked-status) drained for bookkeeping only
             self->channel_->req_notify();
             self->replenish_recvs();
         });
 }
 
 void RingChannel::handle_completion(const Completion& c) {
+    // A handler invoked from handle_data may close this channel while the
+    // polled batch is still being walked; later entries must be ignored.
+    if (!open_) return;
     if (c.op != Opcode::kRecv) return;
+    if (!c.success) return;
     SKV_DCHECK(posted_recvs_ > 0);
     --posted_recvs_;
     if (c.has_imm) {
@@ -232,6 +240,7 @@ void RingChannel::handle_data(const Completion& c) {
 }
 
 void RingChannel::maybe_return_credits() {
+    if (!qp_) return; // torn down mid-batch
     if (consumed_since_credit_ < params_.credit_threshold) return;
     SendWr wr;
     wr.wr_id = next_wr_id_++;
@@ -252,11 +261,35 @@ void RingChannel::set_on_message(MessageHandler handler) {
 }
 
 void RingChannel::close() {
+    if (!open_) return;
     open_ = false;
+    net_.simulation().trace().note(sim::TraceEvent::kChannelClose,
+                                   net_.simulation().now(), self_.ep, peer_);
     if (qp_) qp_->disconnect();
     backlog_.clear();
     backlog_bytes_ = 0;
     pending_.clear();
+    reassembly_.clear();
+    // Drop the rkey registry entry: WRITEs still on the wire toward this
+    // ring are discarded by the transport (remote-access error in hardware).
+    // recv_mr_ itself stays until the ring dies — in-flight CM handshake
+    // callbacks may still query recv_mr()->rkey().
+    if (recv_mr_) net_.deregister_mr(recv_mr_->rkey());
+    if (on_message_ || qp_ || channel_) {
+        net_.simulation().trace().note(sim::TraceEvent::kHandlerClear,
+                                       net_.simulation().now(), self_.ep, peer_);
+        // close() may be running inside on_message_ (a server handler
+        // tearing down the connection it is serving) or inside the CQ task
+        // that still touches qp_/channel_ after handle_completion returns.
+        // Defer the release one sim event; open_ == false already cuts off
+        // all delivery and posting.
+        auto self = shared_from_this();
+        net_.simulation().after(sim::Duration::zero(), [self]() {
+            self->on_message_ = nullptr;
+            self->qp_.reset();
+            if (self->channel_) self->channel_->set_on_event(nullptr);
+        });
+    }
 }
 
 } // namespace skv::rdma

@@ -20,6 +20,7 @@ const char* to_string(Opcode op) {
 MemoryRegion::MemoryRegion(std::uint32_t rkey, std::size_t size)
     : rkey_(rkey), buf_(size, '\0') {
     SKV_CHECK(size > 0);
+    ++live_count_;
 }
 
 void MemoryRegion::write(std::size_t offset, std::string_view bytes) {
@@ -95,9 +96,11 @@ MemoryRegionPtr RdmaNetwork::register_mr(net::NodeRef node, std::size_t size) {
     return mr;
 }
 
+void RdmaNetwork::deregister_mr(std::uint32_t rkey) { mrs_.erase(rkey); }
+
 MemoryRegionPtr RdmaNetwork::lookup_mr(std::uint32_t rkey) const {
     auto it = mrs_.find(rkey);
-    return it == mrs_.end() ? nullptr : it->second;
+    return it == mrs_.end() ? nullptr : it->second.lock();
 }
 
 sim::Duration RdmaNetwork::wr_post_cost(net::EndpointId ep) {
@@ -120,9 +123,10 @@ QueuePair::QueuePair(RdmaNetwork& net, net::NodeRef self,
       recv_cq_(std::move(recv_cq)) {
     SKV_CHECK(self_.valid());
     SKV_CHECK(send_cq_ && recv_cq_);
+    ++live_count_;
 }
 
-void QueuePair::connect_to(QueuePairPtr peer) {
+void QueuePair::connect_to(const QueuePairPtr& peer) {
     SKV_CHECK(peer && peer.get() != this);
     peer_ = peer;
 }
@@ -235,7 +239,13 @@ void QueuePair::arrive(Inbound in) {
     switch (in.op) {
         case Opcode::kWrite: {
             MemoryRegionPtr mr = net_.lookup_mr(in.rkey);
-            SKV_DCHECK(mr, "WRITE to unknown rkey");
+            if (!mr) {
+                // The target was deregistered while the WRITE was on the
+                // wire (channel closed mid-flight). Hardware would raise a
+                // remote-access error; the sim drops the op and counts it.
+                net_.count_unknown_mr_write();
+                break;
+            }
             if (in.wrapped) {
                 mr->write_wrapped(in.remote_offset, in.payload);
             } else {
@@ -246,7 +256,10 @@ void QueuePair::arrive(Inbound in) {
         }
         case Opcode::kWriteWithImm: {
             MemoryRegionPtr mr = net_.lookup_mr(in.rkey);
-            SKV_DCHECK(mr, "WRITE_WITH_IMM to unknown rkey");
+            if (!mr) {
+                net_.count_unknown_mr_write();
+                break;
+            }
             if (in.wrapped) {
                 mr->write_wrapped(in.remote_offset, in.payload);
             } else {

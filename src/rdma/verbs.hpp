@@ -54,6 +54,12 @@ struct Completion {
 class MemoryRegion {
 public:
     MemoryRegion(std::uint32_t rkey, std::size_t size);
+    MemoryRegion(const MemoryRegion&) = delete;
+    MemoryRegion& operator=(const MemoryRegion&) = delete;
+    ~MemoryRegion() { --live_count_; }
+
+    /// MR objects currently alive (lifetime regression accounting).
+    [[nodiscard]] static long live_count() { return live_count_; }
 
     [[nodiscard]] std::uint32_t rkey() const { return rkey_; }
     [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -72,6 +78,7 @@ public:
     void reregister() { ++generation_; }
 
 private:
+    inline static long live_count_ = 0;
     std::uint32_t rkey_;
     std::uint32_t generation_ = 1;
     std::vector<char> buf_;
@@ -105,11 +112,14 @@ private:
     bool armed_ = false;
 };
 
-/// Completion queue. Completions accumulate until polled.
+/// Completion queue. Completions accumulate until polled. The CQ shares
+/// ownership of its event channel: in-flight work requests hold the CQ
+/// alive past the owning messenger's death, and a push() must still find a
+/// live channel to (not) fire.
 class CompletionQueue {
 public:
-    explicit CompletionQueue(CompletionChannel* channel = nullptr)
-        : channel_(channel) {}
+    explicit CompletionQueue(std::shared_ptr<CompletionChannel> channel = nullptr)
+        : channel_(std::move(channel)) {}
 
     void push(Completion c);
 
@@ -120,7 +130,7 @@ public:
     [[nodiscard]] std::uint64_t total_pushed() const { return total_; }
 
 private:
-    CompletionChannel* channel_;
+    std::shared_ptr<CompletionChannel> channel_;
     std::deque<Completion> queue_;
     std::uint64_t total_ = 0;
 };
@@ -152,9 +162,16 @@ class QueuePair : public std::enable_shared_from_this<QueuePair> {
 public:
     QueuePair(RdmaNetwork& net, net::NodeRef self, CompletionQueuePtr send_cq,
               CompletionQueuePtr recv_cq);
+    QueuePair(const QueuePair&) = delete;
+    QueuePair& operator=(const QueuePair&) = delete;
+    ~QueuePair() { --live_count_; }
+
+    /// QP objects currently alive (lifetime regression accounting; posted
+    /// receive WQEs and RNR-queued inbounds die with their QP).
+    [[nodiscard]] static long live_count() { return live_count_; }
 
     /// Wire this QP to its peer (done by the CM for both directions).
-    void connect_to(std::shared_ptr<QueuePair> peer);
+    void connect_to(const std::shared_ptr<QueuePair>& peer);
 
     /// Post a receive buffer (consumed by inbound SEND or WRITE_WITH_IMM).
     void post_recv(std::uint64_t wr_id, MemoryRegionPtr mr, std::size_t offset,
@@ -201,6 +218,7 @@ private:
     /// (RNR condition — resolved when the next recv is posted).
     void consume_recv(Inbound in);
 
+    inline static long live_count_ = 0;
     RdmaNetwork& net_;
     net::NodeRef self_;
     CompletionQueuePtr send_cq_;
@@ -220,10 +238,25 @@ public:
                 const cpu::CostModel& costs);
 
     /// Register `size` bytes of memory; returns the MR (rkey assigned).
-    /// Charges the registration cost to `node`'s core.
+    /// Charges the registration cost to `node`'s core. The registry holds
+    /// only a weak reference: an MR whose owner died (e.g. an abandoned
+    /// half-open handshake) is reclaimed with the owner instead of being
+    /// retained forever.
     MemoryRegionPtr register_mr(net::NodeRef node, std::size_t size);
 
+    /// Drop the registry entry; remote WRITEs targeting the rkey are then
+    /// discarded in flight (counted in writes_unknown_mr()). Called from
+    /// channel close() teardown.
+    void deregister_mr(std::uint32_t rkey);
+
     [[nodiscard]] MemoryRegionPtr lookup_mr(std::uint32_t rkey) const;
+
+    /// Inbound WRITE/WRITE_WITH_IMM ops that targeted an unknown (e.g.
+    /// deregistered) rkey and were dropped.
+    [[nodiscard]] std::uint64_t writes_unknown_mr() const {
+        return writes_unknown_mr_;
+    }
+    void count_unknown_mr_write() { ++writes_unknown_mr_; }
 
     [[nodiscard]] sim::Simulation& simulation() { return sim_; }
     [[nodiscard]] net::Fabric& fabric() { return fabric_; }
@@ -253,7 +286,8 @@ private:
     sim::Rng rng_;
     sim::Duration ack_latency_{sim::nanoseconds(900)};
     std::uint32_t next_rkey_ = 1;
-    std::map<std::uint32_t, MemoryRegionPtr> mrs_;
+    std::uint64_t writes_unknown_mr_ = 0;
+    std::map<std::uint32_t, std::weak_ptr<MemoryRegion>> mrs_;
 };
 
 } // namespace skv::rdma

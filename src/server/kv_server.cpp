@@ -71,9 +71,36 @@ void KvServer::on_client_accept(net::ChannelPtr ch) {
     conn->channel = std::move(ch);
     clients_.push_back(conn);
     stats_.incr("clients_accepted");
-    conn->channel->set_on_message([this, conn](std::string payload) {
-        if (crashed_) return;
+    // Weak capture: the handler lives inside conn->channel, which conn
+    // owns — an owning capture would cycle and the connection could never
+    // be reclaimed.
+    std::weak_ptr<ClientConn> wconn = conn;
+    conn->channel->set_on_message([this, wconn](std::string payload) {
+        auto conn = wconn.lock();
+        if (!conn || crashed_) return;
         on_client_data(conn, std::move(payload));
+    });
+}
+
+void KvServer::install_node_handler(const ClientPtr& conn) {
+    std::weak_ptr<ClientConn> wconn = conn;
+    conn->channel->set_on_message([this, wconn](std::string payload) {
+        auto conn = wconn.lock();
+        if (!conn || crashed_) return;
+        const auto msg = NodeMsg::decode(payload);
+        if (!msg.has_value()) {
+            stats_.incr("node_msgs_malformed");
+            return;
+        }
+        handle_node_msg(conn, *msg);
+    });
+}
+
+void KvServer::release_conn(const net::Channel* raw) {
+    std::erase_if(clients_, [&](const ClientPtr& c) {
+        if (c->channel.get() != raw) return false;
+        c->channel->close();
+        return true;
     });
 }
 
@@ -88,36 +115,51 @@ net::ChannelPtr KvServer::wrap_node_link(net::ChannelPtr ch) {
 void KvServer::on_node_link_broken(const net::Channel* raw) {
     stats_.incr("node_links_broken");
     if (crashed_) return;
-    // A master's link to a baseline slave: stop feeding it; a later kSync
-    // re-registration revalidates it.
-    for (auto& s : slaves_) {
-        if (s.channel.get() == raw && s.valid) {
-            s.valid = false;
-            if (!cfg_.offload_replication) {
-                available_slaves_ = 0;
-                for (const auto& t : slaves_) {
-                    if (t.valid) ++available_slaves_;
-                }
-            }
+    // A master's link to a baseline slave: drop the registration entirely
+    // (close tears the object graph down); the slave's next kSync
+    // re-registration recreates the entry.
+    bool removed_slave = false;
+    for (auto it = slaves_.begin(); it != slaves_.end();) {
+        if (it->channel.get() == raw) {
+            if (it->channel) it->channel->close();
+            it = slaves_.erase(it);
+            removed_slave = true;
+        } else {
+            ++it;
         }
     }
-    if (master_link_ && master_link_.get() == raw) master_link_.reset();
+    if (removed_slave && !cfg_.offload_replication) {
+        available_slaves_ = 0;
+        for (const auto& t : slaves_) {
+            if (t.valid) ++available_slaves_;
+        }
+    }
+    if (master_link_ && master_link_.get() == raw) {
+        master_link_->close();
+        master_link_.reset();
+    }
     // SKV links to the local Nic-KV: dial again (the attempt counter makes
     // a superseded reconnect harmless).
     if (nic_link_ && nic_link_.get() == raw) {
+        nic_link_->close();
         nic_link_.reset();
         nic_attached_ = false;
+        release_conn(raw);
         if (cfg_.offload_replication && skv_nic_ep_ != net::kInvalidEndpoint) {
             attach_nic(skv_nic_ep_, skv_nic_port_);
         }
         return;
     }
     if (nic_registration_ && nic_registration_.get() == raw) {
+        nic_registration_->close();
         nic_registration_.reset();
+        release_conn(raw);
         if (role_ == Role::kSlave && skv_nic_ep_ != net::kInvalidEndpoint) {
             slaveof_skv(skv_nic_ep_, skv_nic_port_);
         }
+        return;
     }
+    release_conn(raw);
 }
 
 void KvServer::on_node_accept(net::ChannelPtr ch) {
@@ -126,15 +168,7 @@ void KvServer::on_node_accept(net::ChannelPtr ch) {
     conn->node_link = true;
     clients_.push_back(conn);
     stats_.incr("node_links_accepted");
-    conn->channel->set_on_message([this, conn](std::string payload) {
-        if (crashed_) return;
-        const auto msg = NodeMsg::decode(payload);
-        if (!msg.has_value()) {
-            stats_.incr("node_msgs_malformed");
-            return;
-        }
-        handle_node_msg(conn, *msg);
-    });
+    install_node_handler(conn);
 }
 
 // --- client command path ----------------------------------------------------
@@ -276,6 +310,15 @@ void KvServer::serve_initial_sync(const std::string& slave_name,
     if (it == slaves_.end()) {
         slaves_.push_back(SlaveLink{slave_name, direct, slave_offset, true});
     } else {
+        // Re-sync over a fresh channel supersedes the old link: close it and
+        // drop its connection record, or the dead channel (which carries no
+        // traffic, so the reliable layer never declares it broken) would be
+        // retained until process exit.
+        if (it->channel && it->channel != direct) {
+            const net::Channel* old = it->channel.get();
+            it->channel->close();
+            release_conn(old);
+        }
         it->channel = direct;
         it->ack_offset = slave_offset;
         it->valid = true;
@@ -324,11 +367,7 @@ void KvServer::connect_and_sync_slave(std::string slave_name,
         conn->channel = ch;
         conn->node_link = true;
         clients_.push_back(conn);
-        ch->set_on_message([this, conn](std::string payload) {
-            if (crashed_) return;
-            const auto msg = NodeMsg::decode(payload);
-            if (msg.has_value()) handle_node_msg(conn, *msg);
-        });
+        install_node_handler(conn);
         serve_initial_sync(slave_name, offset, std::move(ch));
     };
     // Slave node ports follow the same convention: cfg_.port + 1. The
@@ -446,6 +485,19 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
             if (role_ == Role::kMaster) {
                 role_ = Role::kSlave;
                 stats_.incr("demotions");
+                // A demoted master never feeds its old fan-out targets
+                // again — the promoted master dials the slaves itself.
+                // Releasing the links here is what lets the per-slave
+                // connection graphs die with the demotion.
+                for (auto& s : slaves_) {
+                    if (!s.channel) continue;
+                    const net::Channel* raw = s.channel.get();
+                    s.channel->close();
+                    s.channel.reset();
+                    release_conn(raw);
+                }
+                slaves_.clear();
+                available_slaves_ = 0;
             }
             break;
         }
@@ -553,7 +605,13 @@ void KvServer::slaveof_baseline(net::EndpointId master_ep,
     baseline_master_ep_ = master_ep;
     baseline_master_port_ = node_port;
     const std::uint64_t attempt = ++baseline_connect_attempt_;
-    master_link_.reset();
+    if (master_link_) {
+        // Re-pointing at a (new) master: the old link and its retained
+        // connection object are dead weight from here on. Release them.
+        const net::Channel* old = master_link_.get();
+        master_link_.reset();
+        release_conn(old);
+    }
     auto cb = [this, attempt](net::ChannelPtr ch) {
         if (!ch || crashed_ || attempt != baseline_connect_attempt_) return;
         ch = wrap_node_link(std::move(ch));
@@ -562,11 +620,7 @@ void KvServer::slaveof_baseline(net::EndpointId master_ep,
         conn->channel = ch;
         conn->node_link = true;
         clients_.push_back(conn);
-        ch->set_on_message([this, conn](std::string payload) {
-            if (crashed_) return;
-            const auto msg = NodeMsg::decode(payload);
-            if (msg.has_value()) handle_node_msg(conn, *msg);
-        });
+        install_node_handler(conn);
         ch->send(NodeMsg{NodeMsg::Type::kSync, applied_offset_, cfg_.name}.encode());
     };
     if (cfg_.transport == Transport::kTcp) {
@@ -590,8 +644,13 @@ void KvServer::slaveof_skv(net::EndpointId nic_ep, std::uint16_t nic_port) {
     skv_nic_port_ = nic_port;
     const std::uint64_t attempt = ++skv_connect_attempt_;
     // A crashed-and-recovered node may still hold an open-looking channel
-    // whose peer has moved on; registration always starts fresh.
-    nic_registration_.reset();
+    // whose peer has moved on; registration always starts fresh and the
+    // superseded link is released.
+    if (nic_registration_) {
+        const net::Channel* old = nic_registration_.get();
+        nic_registration_.reset();
+        release_conn(old);
+    }
     last_reregister_ns_ = sim_.now().ns();
     // Paper Fig. 8 step 1: the request carries the slave's replication ID,
     // offset, and identity. The "<name>@<endpoint>" body lets the master
@@ -605,11 +664,7 @@ void KvServer::slaveof_skv(net::EndpointId nic_ep, std::uint16_t nic_port) {
         conn->channel = ch;
         conn->node_link = true;
         clients_.push_back(conn);
-        ch->set_on_message([this, conn](std::string payload) {
-            if (crashed_) return;
-            const auto msg = NodeMsg::decode(payload);
-            if (msg.has_value()) handle_node_msg(conn, *msg);
-        });
+        install_node_handler(conn);
         const std::string ident = cfg_.name + "@" + std::to_string(self_.ep);
         ch->send(NodeMsg{NodeMsg::Type::kInitSync, applied_offset_, ident}.encode());
     };
@@ -629,7 +684,11 @@ void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
     skv_nic_port_ = nic_port;
     SKV_CHECK(cfg_.offload_replication);
     const std::uint64_t attempt = ++skv_connect_attempt_;
-    nic_link_.reset();
+    if (nic_link_) {
+        const net::Channel* old = nic_link_.get();
+        nic_link_.reset();
+        release_conn(old);
+    }
     nic_attached_ = false;
     auto cb = [this, attempt](net::ChannelPtr ch) {
         if (!ch || crashed_ || attempt != skv_connect_attempt_) return;
@@ -641,11 +700,7 @@ void KvServer::attach_nic(net::EndpointId nic_ep, std::uint16_t nic_port) {
         conn->channel = ch;
         conn->node_link = true;
         clients_.push_back(conn);
-        ch->set_on_message([this, conn](std::string payload) {
-            if (crashed_) return;
-            const auto msg = NodeMsg::decode(payload);
-            if (msg.has_value()) handle_node_msg(conn, *msg);
-        });
+        install_node_handler(conn);
         // Identify ourselves to the NIC as the master.
         const std::string ident = cfg_.name + "@" + std::to_string(self_.ep);
         ch->send(NodeMsg{NodeMsg::Type::kSync, backlog_.master_offset(),
@@ -675,6 +730,14 @@ void KvServer::cron() {
             stats_.incr("expired_keys", removed);
         }
         db_.keys().rehash_step(4);
+
+        // Reap connections whose channel is gone (FIN received, protocol
+        // error, reliable layer declared broken) — Redis frees the client
+        // object on EOF; retaining ours forever was the leak simlint2's
+        // [cycle] rule guards the fix for.
+        std::erase_if(clients_, [](const ClientPtr& c) {
+            return !c->channel || !c->channel->open();
+        });
 
         ++cron_ticks_;
         const std::int64_t acks_every =
@@ -717,6 +780,20 @@ void KvServer::crash() {
     crashed_ = true;
     self_.core->halt();
     nets_.fabric->sever(self_.ep);
+    // The process is gone, and so is every connection object in it. No
+    // close() here — a FIN from a dead process is wrong and the halted
+    // core could not run it anyway; dropping the references is exactly
+    // what OS teardown does. Peers learn via RTO exhaustion and probe
+    // timeouts. (The weak handler captures are what make the drop
+    // actually free the graphs — see DESIGN.md "Ownership model".)
+    clients_.clear();
+    slaves_.clear();
+    master_link_.reset();
+    nic_link_.reset();
+    nic_registration_.reset();
+    nic_attached_ = false;
+    pending_stream_.clear();
+    pending_stream_bytes_ = 0;
     stats_.incr("crashes");
 }
 

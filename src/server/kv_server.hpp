@@ -79,6 +79,9 @@ public:
     [[nodiscard]] std::int64_t slave_applied_offset() const { return applied_offset_; }
     [[nodiscard]] std::size_t slave_count() const { return slaves_.size(); }
     [[nodiscard]] int available_slaves() const { return available_slaves_; }
+    /// Connection objects currently retained (clients + node links); the
+    /// lifetime regression test asserts this shrinks when links die.
+    [[nodiscard]] std::size_t client_conns() const { return clients_.size(); }
     [[nodiscard]] sim::StatsRegistry& stats() { return stats_; }
     [[nodiscard]] std::uint64_t commands_processed() const { return commands_; }
     /// The SKV master's replication-request channel (introspection).
@@ -112,6 +115,14 @@ private:
     /// install the broken-link reaction.
     net::ChannelPtr wrap_node_link(net::ChannelPtr ch);
     void on_node_link_broken(const net::Channel* raw);
+    /// Install the NodeMsg receive handler on `conn`'s channel. The handler
+    /// captures the connection weakly: it is stored inside the channel,
+    /// which the connection owns, so an owning capture would be a
+    /// reference cycle and the link would never be reclaimed (see
+    /// DESIGN.md "Ownership model").
+    void install_node_handler(const ClientPtr& conn);
+    /// Close and drop the retained ClientConn owning `raw` (if any).
+    void release_conn(const net::Channel* raw);
 
     // -- client command path
     void on_client_data(const ClientPtr& conn, std::string payload);

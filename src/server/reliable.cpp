@@ -233,12 +233,26 @@ void ReliableChannel::set_on_message(MessageHandler handler) {
 }
 
 void ReliableChannel::close() {
+    if (closed_) return;
     closed_ = true;
     ++rto_epoch_;
     ++ack_epoch_;
     unacked_.clear();
     reorder_.clear();
     pending_.clear();
+    if (on_message_ || on_broken_) {
+        sim_.trace().note(sim::TraceEvent::kHandlerClear, sim_.now(),
+                          inner_->peer());
+        // close() is frequently called from inside on_broken_ (the owner's
+        // link-broken handler tears the link down) or from on_message_, so
+        // neither function object may be destroyed synchronously. Defer one
+        // sim event; closed_ already gates every entry point.
+        auto self = shared_from_this();
+        sim_.after(sim::Duration::zero(), [self]() {
+            self->on_message_ = nullptr;
+            self->on_broken_ = nullptr;
+        });
+    }
     inner_->close();
 }
 

@@ -28,6 +28,11 @@ enum class TraceEvent : std::uint16_t {
     kFabricFaultDrop = 4,
     kFabricSever = 5,
     kFabricRestore = 6,
+    // Object-lifetime events: channel teardown is part of the audited
+    // behaviour (a run that reclaims a connection at a different sim time
+    // is a different run).
+    kChannelClose = 7,
+    kHandlerClear = 8,
 };
 
 /// Bounded in-memory trace ring. Keeps the most recent `capacity` records

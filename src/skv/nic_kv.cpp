@@ -169,6 +169,12 @@ void NicKv::register_master(const net::ChannelPtr& ch, const NodeMsg& msg) {
     bool was_invalid = false;
     if (NodeEntry* existing = find_by_name(e.name)) {
         was_invalid = !existing->valid;
+        // The refreshed registration supersedes the old channel; close it
+        // so the dead connection's object graph is released, not merely
+        // unreferenced.
+        if (existing->channel && existing->channel != e.channel) {
+            existing->channel->close();
+        }
         *existing = std::move(e);
     } else {
         if (!nic_.reserve_memory(cfg_.node_entry_bytes)) {
@@ -188,8 +194,10 @@ void NicKv::register_master(const net::ChannelPtr& ch, const NodeMsg& msg) {
         stats_.incr("recoveries_detected");
         if (promoted_idx_ >= 0) {
             auto& stand_in = nodes_[static_cast<std::size_t>(promoted_idx_)];
-            stand_in.channel->send(
-                NodeMsg{NodeMsg::Type::kDemote, 0, ""}.encode());
+            if (stand_in.channel && stand_in.channel->open()) {
+                stand_in.channel->send(
+                    NodeMsg{NodeMsg::Type::kDemote, 0, ""}.encode());
+            }
             promoted_idx_ = -1;
         }
         publish_slave_status();
@@ -211,6 +219,10 @@ void NicKv::register_slave(const net::ChannelPtr& ch, const NodeMsg& msg) {
     bool was_known = false;
     if (NodeEntry* existing = find_by_name(e.name)) {
         // Reconnection after a crash: refresh the channel and revalidate.
+        // The superseded channel is closed, releasing its ring/QP state.
+        if (existing->channel && existing->channel != e.channel) {
+            existing->channel->close();
+        }
         *existing = std::move(e);
         was_known = true;
     } else {
@@ -227,9 +239,11 @@ void NicKv::register_slave(const net::ChannelPtr& ch, const NodeMsg& msg) {
     // Paper Fig. 8 step 2: notify the master that a slave wants to sync.
     if (master_idx_ >= 0) {
         auto& master = nodes_[static_cast<std::size_t>(master_idx_)];
-        nic_.core(0).consume(costs_.event_dispatch);
-        master.channel->send(
-            NodeMsg{NodeMsg::Type::kSyncNotify, msg.field, msg.body}.encode());
+        if (master.channel && master.channel->open()) {
+            nic_.core(0).consume(costs_.event_dispatch);
+            master.channel->send(
+                NodeMsg{NodeMsg::Type::kSyncNotify, msg.field, msg.body}.encode());
+        }
     }
     publish_slave_status();
 }
@@ -275,16 +289,20 @@ void NicKv::handle_probe_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {
             // stand-in is demoted.
             if (promoted_idx_ >= 0) {
                 auto& stand_in = nodes_[static_cast<std::size_t>(promoted_idx_)];
-                stand_in.channel->send(
-                    NodeMsg{NodeMsg::Type::kDemote, 0, ""}.encode());
+                if (stand_in.channel && stand_in.channel->open()) {
+                    stand_in.channel->send(
+                        NodeMsg{NodeMsg::Type::kDemote, 0, ""}.encode());
+                }
                 promoted_idx_ = -1;
             }
         } else if (e->repl_offset < fanout_offset_ && master_idx_ >= 0) {
             auto& master = nodes_[static_cast<std::size_t>(master_idx_)];
-            master.channel->send(NodeMsg{NodeMsg::Type::kResyncRequest,
-                                         e->repl_offset, e->name}
-                                     .encode());
-            stats_.incr("resyncs_requested");
+            if (master.channel && master.channel->open()) {
+                master.channel->send(NodeMsg{NodeMsg::Type::kResyncRequest,
+                                             e->repl_offset, e->name}
+                                         .encode());
+                stats_.incr("resyncs_requested");
+            }
         }
         publish_slave_status();
     }
@@ -330,15 +348,24 @@ void NicKv::on_link_broken(const net::Channel* raw) {
     for (auto& e : nodes_) {
         if (e.channel.get() == raw && e.valid) {
             e.valid = false;
+            // Keep the entry — its name/offset drive the resync once the
+            // node re-registers — but release the dead channel: probing a
+            // broken link is pointless and retaining it pins the whole
+            // ring/QP graph.
+            e.channel->close();
+            e.channel.reset();
             stats_.incr("failures_detected");
             stats_.incr("links_broken");
             after_invalidation();
             return;
         }
     }
-    // A pending (never-registered) connection died: just forget it.
-    std::erase_if(pending_,
-                  [raw](const net::ChannelPtr& p) { return p.get() == raw; });
+    // A pending (never-registered) connection died: close and forget it.
+    std::erase_if(pending_, [raw](const net::ChannelPtr& p) {
+        if (p.get() != raw) return false;
+        p->close();
+        return true;
+    });
 }
 
 void NicKv::after_invalidation() {
@@ -346,7 +373,7 @@ void NicKv::after_invalidation() {
         promoted_idx_ < 0) {
         // Failover: pick an available slave as the stand-in master.
         for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            if (!nodes_[i].is_master && nodes_[i].valid) {
+            if (!nodes_[i].is_master && nodes_[i].valid && nodes_[i].channel) {
                 promoted_idx_ = static_cast<int>(i);
                 nodes_[i].channel->send(
                     NodeMsg{NodeMsg::Type::kPromote, 0, ""}.encode());

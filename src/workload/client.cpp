@@ -10,9 +10,12 @@ BenchClient::BenchClient(sim::Simulation& sim, const cpu::CostModel& costs,
 
 void BenchClient::attach(net::ChannelPtr ch) {
     channel_ = std::move(ch);
-    auto self = shared_from_this();
-    channel_->set_on_message([self](std::string payload) {
-        self->on_reply(std::move(payload));
+    // Weak capture: the client owns the channel and the handler lives
+    // inside the channel, so an owning capture would cycle and neither
+    // object could ever be reclaimed.
+    std::weak_ptr<BenchClient> weak = weak_from_this();
+    channel_->set_on_message([weak](std::string payload) {
+        if (auto self = weak.lock()) self->on_reply(std::move(payload));
     });
     issue_next();
 }

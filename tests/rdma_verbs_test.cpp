@@ -195,8 +195,9 @@ TEST_F(VerbsTest, SeveredFabricSilentlyLosesWr) {
 }
 
 TEST_F(VerbsTest, CompletionChannelFiresOncePerArm) {
-    CompletionChannel chan(sim);
-    CompletionQueue cq(&chan);
+    auto chan_ptr = std::make_shared<CompletionChannel>(sim);
+    CompletionChannel& chan = *chan_ptr;
+    CompletionQueue cq(chan_ptr);
     int events = 0;
     chan.set_on_event([&] { ++events; });
     chan.req_notify();

@@ -105,5 +105,37 @@ TEST(TraceAudit, FaultsFoldIntoDigest) {
     EXPECT_EQ(run(), run());
 }
 
+TEST(TraceAudit, TeardownEventsFoldIntoDigest) {
+    // Channel teardown is part of the audited stream: kChannelClose and
+    // kHandlerClear notes fire when links are severed and reconnected, so
+    // two identical sever/reconnect runs must agree bit-for-bit, and a run
+    // with the sever must diverge from one without it even though both end
+    // converged on the same data.
+    auto run = [](bool sever) {
+        offload::ClusterConfig cfg;
+        cfg.seed = 0x7e32'd0c5ULL;
+        cfg.n_slaves = 2;
+        cfg.offload = true;
+        offload::Cluster c(cfg);
+        c.start();
+        c.sim().run_until(c.sim().now() + sim::milliseconds(50));
+        if (sever) {
+            c.slave(1).crash();
+            c.sim().run_until(c.sim().now() + sim::seconds(2));
+            c.slave(1).recover();
+        }
+        c.sim().run_until(c.sim().now() + sim::seconds(4));
+        EXPECT_TRUE(c.converged());
+        return c.sim().trace_digest();
+    };
+    const auto severed_a = run(true);
+    const auto severed_b = run(true);
+    const auto clean = run(false);
+    EXPECT_EQ(severed_a, severed_b)
+        << "teardown/reconnect event stream is non-deterministic";
+    EXPECT_NE(severed_a, clean)
+        << "teardown events are not reaching the digest";
+}
+
 } // namespace
 } // namespace skv

@@ -1,0 +1,40 @@
+// Fixture for [unchecked-status]: a discarded poll and a locally-consumed
+// batch that never reads .success, plus the two shapes that must pass —
+// a checked batch and delegation to an opaque handler.
+#include <vector>
+
+struct Completion {
+    bool success = false;
+    int op = 0;
+};
+
+struct Cq {
+    std::vector<Completion> poll();
+};
+
+void bad_discard(Cq* cq) {
+    cq->poll(); // finding: completions dropped unseen
+}
+
+int bad_consume(Cq* cq) {
+    int ops = 0;
+    for (const auto& c : cq->poll()) {
+        ops += c.op; // finding on the for-line: .success never read
+    }
+    return ops;
+}
+
+int ok_checked(Cq* cq) {
+    int ops = 0;
+    for (const auto& c : cq->poll()) {
+        if (!c.success) continue;
+        ops += c.op;
+    }
+    return ops;
+}
+
+void handle(const Completion& c); // declaration only: body unknown
+
+void ok_delegated(Cq* cq) {
+    for (const auto& c : cq->poll()) handle(c);
+}

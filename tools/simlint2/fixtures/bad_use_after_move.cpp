@@ -1,0 +1,48 @@
+// Fixture for [use-after-move]: one genuine violation plus the three
+// idioms that must NOT fire (reinitialisation, x = f(std::move(x)),
+// and moves confined to an untaken branch).
+#include <string>
+#include <utility>
+
+std::string consume(std::string s);
+std::string wrap(std::string s);
+
+std::string bad() {
+    std::string payload = "hello";
+    auto out = consume(std::move(payload));
+    out += payload; // finding: payload was moved two lines up
+    return out;
+}
+
+std::string ok_reinit() {
+    std::string payload = "hello";
+    auto out = consume(std::move(payload));
+    payload = "again"; // reinitialised: later uses are fine
+    out += payload;
+    return out;
+}
+
+std::string ok_self_assign() {
+    std::string payload = "hello";
+    payload = wrap(std::move(payload)); // net effect: reinitialisation
+    return payload;
+}
+
+std::string ok_branch(bool flag) {
+    std::string payload = "hello";
+    std::string out;
+    if (flag) {
+        out = consume(std::move(payload));
+    } else {
+        out = payload; // other branch: the move never happened here
+    }
+    return out;
+}
+
+std::string ok_clear_reuse() {
+    std::string payload = "hello";
+    auto out = consume(std::move(payload));
+    payload.clear(); // moved-from object restored to a known state
+    payload = out;
+    return payload;
+}

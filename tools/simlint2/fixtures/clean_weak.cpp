@@ -1,0 +1,34 @@
+// Fixture: the sanctioned shape. Same object graph as cycle_basic, but
+// the handler captures a weak_ptr and locks it per message, so the
+// channel never owns its owner. Expect no findings.
+#include <functional>
+#include <memory>
+#include <string>
+
+class Channel {
+public:
+    void set_on_message(std::function<void(std::string)> h) {
+        on_message_ = std::move(h);
+    }
+
+private:
+    std::function<void(std::string)> on_message_;
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+struct ClientConn {
+    ChannelPtr channel;
+    std::string name;
+};
+
+using ClientPtr = std::shared_ptr<ClientConn>;
+
+void accept(ChannelPtr ch) {
+    auto conn = std::make_shared<ClientConn>();
+    conn->channel = ch;
+    std::weak_ptr<ClientConn> wconn = conn;
+    conn->channel->set_on_message([wconn](std::string payload) {
+        if (auto locked = wconn.lock()) locked->name = payload;
+    });
+}

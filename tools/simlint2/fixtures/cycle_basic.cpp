@@ -1,0 +1,34 @@
+// Fixture: the classic connection-record cycle. The server's connection
+// record owns the channel, and the handler stored *inside* the channel
+// captures an owning pointer back to the record. Neither object can ever
+// be reclaimed. Expect one [cycle] whose path names both edges.
+#include <functional>
+#include <memory>
+#include <string>
+
+class Channel {
+public:
+    void set_on_message(std::function<void(std::string)> h) {
+        on_message_ = std::move(h);
+    }
+
+private:
+    std::function<void(std::string)> on_message_;
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+struct ClientConn {
+    ChannelPtr channel;
+    std::string name;
+};
+
+using ClientPtr = std::shared_ptr<ClientConn>;
+
+void accept(ChannelPtr ch) {
+    auto conn = std::make_shared<ClientConn>();
+    conn->channel = ch;
+    conn->channel->set_on_message([conn](std::string payload) {
+        conn->name = payload;
+    });
+}

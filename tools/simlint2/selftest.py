@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Self-test for simlint2: runs the checker against the fixtures and
+asserts findings, suppressions, exit codes and the compile-commands file
+scoping all behave. Wired into ctest as `simlint2_selftest`.
+
+The text frontend is pinned (`--frontend text`) so the test is
+deterministic on machines with and without libclang; a separate check
+verifies that `--frontend auto` degrades gracefully either way.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).parent
+LINT = HERE / "simlint2.py"
+FIXTURES = HERE / "fixtures"
+
+failures: list[str] = []
+
+
+def run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True)
+
+
+def expect(name: str, cond: bool, context: str = "") -> None:
+    if cond:
+        print(f"  ok  {name}")
+    else:
+        print(f"FAIL  {name}\n{context}")
+        failures.append(name)
+
+
+def check_bad(fixture: str, rule: str, min_findings: int = 1) -> str:
+    """A bad fixture must exit 1 with >= min_findings of the given rule,
+    each carrying a file:line prefix. Returns stdout for extra checks."""
+    r = run("--frontend", "text", str(FIXTURES / fixture))
+    hits = [l for l in r.stdout.splitlines() if f"[{rule}]" in l]
+    expect(f"{fixture} exits 1", r.returncode == 1,
+           f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+    expect(f"{fixture} reports >= {min_findings} [{rule}]",
+           len(hits) >= min_findings, r.stdout)
+    for l in hits:
+        loc = l.split(" ")[0]  # path:line:
+        parts = loc.rstrip(":").rsplit(":", 1)
+        addressable = len(parts) == 2 and parts[1].isdigit()
+        expect(f"{fixture} finding is file:line addressable", addressable, l)
+    return r.stdout
+
+
+# --- clean fixtures pass -----------------------------------------------------
+for clean in ("clean_weak.cpp", "suppressed.cpp"):
+    r = run("--frontend", "text", str(FIXTURES / clean))
+    expect(f"{clean} passes", r.returncode == 0,
+           f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+
+# --- each rule fires on its fixture ------------------------------------------
+out = check_bad("cycle_basic.cpp", "cycle")
+expect("cycle path names the member edge", "member 'channel'" in out, out)
+expect("cycle path names the capture edge",
+       "set_on_message handler captures" in out, out)
+expect("cycle path carries both classes",
+       "ClientConn -> Channel" in out and "Channel -> ClientConn" in out, out)
+
+out = check_bad("bad_use_after_move.cpp", "use-after-move")
+expect("use-after-move reports exactly the one bad function",
+       out.count("[use-after-move]") == 1, out)
+expect("use-after-move names the moved identifier", "'payload'" in out, out)
+
+out = check_bad("bad_unchecked_status.cpp", "unchecked-status", 2)
+expect("unchecked-status flags discarded poll",
+       "polled and discarded" in out, out)
+expect("unchecked-status flags unread batch",
+       "never reads .success" in out, out)
+
+out = check_bad("bad_reentrant_handler.cpp", "reentrant-handler")
+expect("reentrant-handler reports only the synchronous handler",
+       out.count("[reentrant-handler]") == 1, out)
+
+# --- suppression plumbing ----------------------------------------------------
+r = run("--frontend", "text", str(FIXTURES / "bad_allow_missing_reason.cpp"))
+expect("allow without reason exits 2", r.returncode == 2,
+       f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+expect("allow without reason names the problem",
+       "missing the mandatory reason" in r.stderr, r.stderr)
+
+with tempfile.TemporaryDirectory() as td:
+    bad = Path(td) / "unknown_rule.cpp"
+    bad.write_text("// simlint2:allow(not-a-rule) whatever\nint x;\n")
+    r = run("--frontend", "text", str(bad))
+    expect("allow with unknown rule exits 2", r.returncode == 2,
+           f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+    expect("unknown rule message lists known rules",
+           "unknown rule" in r.stderr and "cycle" in r.stderr, r.stderr)
+
+# --- frontend gating ---------------------------------------------------------
+# auto must work (clang when importable, text fallback otherwise) and agree
+# with text on a clean fixture.
+r = run("--frontend", "auto", str(FIXTURES / "clean_weak.cpp"))
+expect("frontend auto degrades gracefully", r.returncode == 0,
+       f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+
+# --- compile-commands scoping + header sweep ---------------------------------
+with tempfile.TemporaryDirectory() as td:
+    root = Path(td)
+    src = root / "src"
+    src.mkdir()
+    (src / "inside.cpp").write_text(
+        "struct Cq { int poll(); };\n"
+        "void f(Cq* cq) {\n"
+        "    cq->poll();\n"
+        "}\n")
+    (src / "swept.hpp").write_text(
+        "struct Cq2 { int poll(); };\n"
+        "inline void g(Cq2* cq) {\n"
+        "    cq->poll();\n"
+        "}\n")
+    outside = root / "outside.cpp"
+    outside.write_text(
+        "struct Cq3 { int poll(); };\n"
+        "void h(Cq3* cq) {\n"
+        "    cq->poll();\n"
+        "}\n")
+    db = root / "compile_commands.json"
+    db.write_text(json.dumps([
+        {"directory": str(root), "file": str(src / "inside.cpp"),
+         "command": "c++ -c inside.cpp"},
+        {"directory": str(root), "file": str(outside),
+         "command": "c++ -c outside.cpp"},
+    ]))
+    r = run("--frontend", "text", "--compile-commands", str(db),
+            "--src-root", str(src))
+    expect("compile-commands: src file linted", "inside.cpp:3" in r.stdout,
+           r.stdout)
+    expect("compile-commands: headers under src swept",
+           "swept.hpp:3" in r.stdout, r.stdout)
+    expect("compile-commands: files outside src-root ignored",
+           "outside.cpp" not in r.stdout, r.stdout)
+
+# -----------------------------------------------------------------------------
+if failures:
+    print(f"\nsimlint2 selftest: {len(failures)} failure(s)")
+    sys.exit(1)
+print("\nsimlint2 selftest: all checks passed")
+sys.exit(0)
