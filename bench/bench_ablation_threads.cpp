@@ -89,5 +89,19 @@ int main() {
                                  })
                     ->lag_bytes /
                     1e6);
+
+    FigureJson j("ablation_threads");
+    j.begin_series("SKV");
+    j.begin_points();
+    for (const auto& p : points) {
+        auto& w = j.point();
+        w.kv("threads", p.threads).kv("effective_threads", p.effective);
+        add_run_fields(w, p.r);
+        w.kv("lag_mb", p.lag_bytes / 1e6)
+            .kv("arm0_util", p.nic_core0_util);
+        j.end_point();
+    }
+    j.end_series();
+    j.emit();
     return 0;
 }

@@ -73,20 +73,50 @@ int main() {
     const net::NodeRef n2{h2, &c2};
     const net::NodeRef nn = bf2.node(0);
 
+    struct Row {
+        std::size_t bytes;
+        double host_host_us;
+        double remote_nic_us;
+        double local_nic_us;
+    };
+    std::vector<Row> rows;
+    for (const std::size_t sz : sizes) {
+        rows.push_back(Row{sz, write_latency_us(sim, net, n1, n2, sz, kIters),
+                           write_latency_us(sim, net, n2, nn, sz, kIters),
+                           write_latency_us(sim, net, n1, nn, sz, kIters)});
+    }
+
     print_header("Fig. 3: RDMA WRITE latency (us)",
                  {"size(B)", "host->host", "remote->nic", "local->nic"});
-    for (const std::size_t sz : sizes) {
-        const double hh = write_latency_us(sim, net, n1, n2, sz, kIters);
-        const double rn = write_latency_us(sim, net, n2, nn, sz, kIters);
-        const double ln = write_latency_us(sim, net, n1, nn, sz, kIters);
-        print_cell(static_cast<long long>(sz));
-        print_cell(hh);
-        print_cell(rn);
-        print_cell(ln);
+    for (const auto& r : rows) {
+        print_cell(static_cast<long long>(r.bytes));
+        print_cell(r.host_host_us);
+        print_cell(r.remote_nic_us);
+        print_cell(r.local_nic_us);
         end_row();
     }
     std::printf(
         "\nshape check: local->nic is only a little lower than host->host\n"
         "(the SmartNIC is effectively a separate network endpoint).\n");
+
+    FigureJson j("fig03_rdma_write_latency");
+    const struct {
+        const char* name;
+        double Row::* field;
+    } series[] = {{"host->host", &Row::host_host_us},
+                  {"remote->nic", &Row::remote_nic_us},
+                  {"local->nic", &Row::local_nic_us}};
+    for (const auto& s : series) {
+        j.begin_series(s.name);
+        j.begin_points();
+        for (const auto& r : rows) {
+            j.point()
+                .kv("bytes", static_cast<std::uint64_t>(r.bytes))
+                .kv("latency_us", r.*(s.field));
+            j.end_point();
+        }
+        j.end_series();
+    }
+    j.emit();
     return 0;
 }

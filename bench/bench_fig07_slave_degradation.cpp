@@ -48,5 +48,17 @@ int main() {
                 100.0 * (three.throughput_kops / none.throughput_kops - 1.0),
                 100.0 * (three.mean_us / none.mean_us - 1.0),
                 100.0 * (three.p99_us / none.p99_us - 1.0));
+
+    FigureJson j("fig07_slave_degradation");
+    j.begin_series("RDMA-Redis");
+    j.begin_points();
+    for (const auto& p : points) {
+        auto& w = j.point();
+        w.kv("slaves", p.slaves);
+        add_run_fields(w, p.r);
+        j.end_point();
+    }
+    j.end_series();
+    j.emit();
     return 0;
 }

@@ -53,5 +53,23 @@ int main() {
         print_cell(p.tcp.p99_us / p.rdma.p99_us);
         end_row();
     }
+
+    FigureJson j("fig10_tcp_vs_rdma");
+    const struct {
+        const char* name;
+        workload::RunResult Point::* field;
+    } series[] = {{"Redis", &Point::tcp}, {"RDMA-Redis", &Point::rdma}};
+    for (const auto& s : series) {
+        j.begin_series(s.name);
+        j.begin_points();
+        for (const auto& p : points) {
+            auto& w = j.point();
+            w.kv("clients", p.clients);
+            add_run_fields(w, p.*(s.field));
+            j.end_point();
+        }
+        j.end_series();
+    }
+    j.emit();
     return 0;
 }

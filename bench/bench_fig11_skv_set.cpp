@@ -6,13 +6,21 @@
 // ~14% more throughput, ~14% lower average latency and ~21% lower tail
 // latency, because the master posts one work request per SET instead of
 // one per slave.
+//
+// Runs with the command-lifecycle tracer on, so each SKV row also reports
+// where the microseconds go: RDMA write, master apply, reply back to the
+// client (the critical path — these must tile the end-to-end mean), plus
+// the offloaded replication legs that overlap the reply. Pass
+// `--trace out.json` to dump the last SKV run as chrome://tracing JSON.
+
+#include <cmath>
 
 #include "bench_common.hpp"
 
 using namespace skv;
 using namespace skv::bench;
 
-int main() {
+int main(int argc, char** argv) {
     const int client_counts[] = {4, 8, 16};
 
     struct Point {
@@ -21,6 +29,7 @@ int main() {
         workload::RunResult skv;
     };
     std::vector<Point> points;
+    std::unique_ptr<offload::Cluster> last_skv;
 
     for (const int n : client_counts) {
         workload::RunOptions opts;
@@ -28,11 +37,13 @@ int main() {
         opts.spec.set_ratio = 1.0;
         opts.spec.value_bytes = 64;
         opts.measure = sim::seconds(2);
+        opts.trace_stages = true;
 
         auto base = make_cluster(System::kRdmaRedis, 3);
         auto skv = make_cluster(System::kSkv, 3);
         points.push_back(Point{n, workload::run_workload(*base, opts),
                                workload::run_workload(*skv, opts)});
+        last_skv = std::move(skv);
     }
 
     print_header("Fig. 11: SET throughput, 1 master + 3 slaves (kops/s)",
@@ -64,5 +75,77 @@ int main() {
         print_cell(100.0 * (1.0 - p.skv.p99_us / p.base.p99_us));
         end_row();
     }
-    return 0;
+
+    // Where the microseconds go (tracer stage accumulators, means over the
+    // measurement window). The three critical-path stages are defined over
+    // the same request population as the end-to-end mean, so their sum must
+    // land within 1% of it — anything larger means the tracer lost or
+    // double-counted a stage.
+    print_header("Fig. 11: SKV SET per-stage latency breakdown (us)",
+                 {"clients", "rdma_write", "mst_apply", "reply", "sum",
+                  "e2e", "diff%"});
+    bool stages_ok = true;
+    for (const auto& p : points) {
+        const auto& s = p.skv.stages;
+        if (!s.valid) {
+            stages_ok = false;
+            continue;
+        }
+        const double diff_pct =
+            100.0 * (s.critical_sum_us / s.e2e_us - 1.0);
+        if (std::abs(diff_pct) > 1.0) stages_ok = false;
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(s.rdma_write_us);
+        print_cell(s.master_apply_us);
+        print_cell(s.reply_us);
+        print_cell(s.critical_sum_us);
+        print_cell(s.e2e_us);
+        std::printf("%14.3f", diff_pct);
+        end_row();
+    }
+
+    // The offloaded legs overlap the reply (the master acks the client
+    // before the NIC finishes the fan-out), so they are reported alongside,
+    // not summed into the critical path.
+    print_header("Fig. 11: SKV async replication legs (us)",
+                 {"clients", "offload_req", "nic_fanout", "slave_ack"});
+    for (const auto& p : points) {
+        const auto& s = p.skv.stages;
+        if (!s.valid) continue;
+        print_cell(static_cast<long long>(p.clients));
+        print_cell(s.offload_request_us);
+        print_cell(s.nic_fanout_us);
+        print_cell(s.slave_ack_us);
+        end_row();
+    }
+
+    std::printf("\ncheck: critical stages (rdma_write + master_apply + "
+                "reply) sum to within 1%% of the measured end-to-end mean "
+                "on every row: %s\n",
+                stages_ok ? "yes" : "NO");
+
+    FigureJson j("fig11_skv_set");
+    j.begin_series("RDMA-Redis");
+    j.begin_points();
+    for (const auto& p : points) {
+        auto& w = j.point();
+        w.kv("clients", p.clients);
+        add_run_fields(w, p.base);
+        j.end_point();
+    }
+    j.end_series();
+    j.begin_series("SKV");
+    j.begin_points();
+    for (const auto& p : points) {
+        auto& w = j.point();
+        w.kv("clients", p.clients);
+        add_run_fields(w, p.skv);
+        if (p.skv.stages.valid) add_stage_fields(w, p.skv.stages);
+        j.end_point();
+    }
+    j.end_series();
+    j.emit();
+
+    maybe_dump_trace(argc, argv, *last_skv);
+    return stages_ok ? 0 : 1;
 }

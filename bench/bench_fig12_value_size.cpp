@@ -47,5 +47,23 @@ int main() {
         print_cell(static_cast<long long>(p.base.errors + p.skv.errors));
         end_row();
     }
+
+    FigureJson j("fig12_value_size");
+    const struct {
+        const char* name;
+        workload::RunResult Point::* field;
+    } series[] = {{"RDMA-Redis", &Point::base}, {"SKV", &Point::skv}};
+    for (const auto& s : series) {
+        j.begin_series(s.name);
+        j.begin_points();
+        for (const auto& p : points) {
+            auto& w = j.point();
+            w.kv("value_bytes", static_cast<std::uint64_t>(p.bytes));
+            add_run_fields(w, p.*(s.field));
+            j.end_point();
+        }
+        j.end_series();
+    }
+    j.emit();
     return 0;
 }

@@ -55,5 +55,23 @@ int main() {
         print_cell(p.skv.p99_us);
         end_row();
     }
+
+    FigureJson j("fig13_skv_get");
+    const struct {
+        const char* name;
+        workload::RunResult Point::* field;
+    } series[] = {{"RDMA-Redis", &Point::base}, {"SKV", &Point::skv}};
+    for (const auto& s : series) {
+        j.begin_series(s.name);
+        j.begin_points();
+        for (const auto& p : points) {
+            auto& w = j.point();
+            w.kv("clients", p.clients);
+            add_run_fields(w, p.*(s.field));
+            j.end_point();
+        }
+        j.end_series();
+    }
+    j.emit();
     return 0;
 }

@@ -110,23 +110,29 @@ VariantResult run_variant(const std::string& name, double repl_drop_prob) {
 }
 
 void print_json(const std::vector<VariantResult>& variants) {
-    std::printf("\nJSON: {\"figure\":\"fig14_availability\",\"variants\":[");
-    for (std::size_t v = 0; v < variants.size(); ++v) {
-        const auto& r = variants[v];
-        std::printf("%s{\"name\":\"%s\",\"healthy_kops\":%.1f,"
-                    "\"min_during_failure_kops\":%.1f,"
-                    "\"failures_detected\":%llu,\"recoveries\":%llu,"
-                    "\"resyncs\":%llu,\"fault_drops\":%llu,"
-                    "\"reconverged\":%s,\"timeline_kops\":[",
-                    v ? "," : "", r.name.c_str(), r.healthy, r.min_during,
-                    r.failures, r.recoveries, r.resyncs, r.fault_drops,
-                    r.reconverged ? "true" : "false");
+    // One series per variant: summary scalars on the series, the 500 ms
+    // throughput timeline as its points.
+    FigureJson j("fig14_availability");
+    for (const auto& r : variants) {
+        auto& w = j.begin_series(r.name);
+        w.kv("healthy_kops", r.healthy)
+            .kv("min_during_failure_kops", r.min_during)
+            .kv("failures_detected",
+                static_cast<std::uint64_t>(r.failures))
+            .kv("recoveries", static_cast<std::uint64_t>(r.recoveries))
+            .kv("resyncs", static_cast<std::uint64_t>(r.resyncs))
+            .kv("fault_drops", static_cast<std::uint64_t>(r.fault_drops));
+        w.key("reconverged").value_bool(r.reconverged);
+        j.begin_points();
         for (std::size_t i = 0; i < r.timeline_kops.size(); ++i) {
-            std::printf("%s%.1f", i ? "," : "", r.timeline_kops[i]);
+            auto& p = j.point();
+            p.key("t_s").value(static_cast<double>(i) * 0.5, 1);
+            p.kv("kops", r.timeline_kops[i]);
+            j.end_point();
         }
-        std::printf("]}");
+        j.end_series();
     }
-    std::printf("]}\n");
+    j.emit();
 }
 
 } // namespace

@@ -3,10 +3,15 @@
 // the simulated master (replicating through the SmartNIC to 2 slaves),
 // and the reply printed. Special commands:
 //
-//   .info       cluster status
-//   .slaves     compare master and slave keyspaces
-//   .time       advance simulated time by one second
-//   .quit       exit
+//   .info         cluster status
+//   .slaves       compare master and slave keyspaces
+//   .time         advance simulated time by one second
+//   .trace FILE   dump collected spans as chrome://tracing JSON
+//   .quit         exit
+//
+// Server-side introspection works like on real Redis: INFO, SLOWLOG
+// GET/LEN/RESET and LATENCY LATEST/HISTORY/RESET are ordinary commands
+// answered by the simulated master.
 //
 //   ./build/examples/kv_shell            (interactive)
 //   echo "SET k v\nGET k" | ./build/examples/kv_shell
@@ -17,6 +22,7 @@
 
 #include "kv/resp.hpp"
 #include "kv/sds.hpp"
+#include "obs/export.hpp"
 #include "skv/cluster.hpp"
 
 using namespace skv;
@@ -26,6 +32,9 @@ int main() {
     cfg.n_slaves = 2;
     cfg.offload = true;
     offload::Cluster cluster(cfg);
+    // Collect spans so `.trace FILE` has something to dump; harmless for
+    // everything else (the tracer only observes).
+    cluster.tracer().set_enabled(true);
     cluster.start();
 
     auto client_node = cluster.add_client_host("shell");
@@ -38,8 +47,10 @@ int main() {
         return 1;
     }
 
+    const std::uint32_t shell_track = cluster.tracer().track("client/shell");
     kv::resp::ReplyParser parser;
     ch->set_on_message([&](std::string payload) {
+        cluster.tracer().flow_complete(ch->flow_id());
         parser.feed(payload);
         kv::resp::Value v;
         while (parser.next(&v) == kv::resp::Status::kOk) {
@@ -82,6 +93,21 @@ int main() {
             std::printf("simulated clock: %.3fs\n", cluster.sim().now().sec());
             continue;
         }
+        if (line.rfind(".trace", 0) == 0) {
+            const auto sp = line.find(' ');
+            const std::string path =
+                sp == std::string::npos ? "" : line.substr(sp + 1);
+            if (path.empty()) {
+                std::printf("usage: .trace FILE\n");
+            } else if (obs::write_chrome_trace(cluster.tracer(), path)) {
+                std::printf("wrote %zu spans to %s (open in "
+                            "chrome://tracing or https://ui.perfetto.dev)\n",
+                            cluster.tracer().spans().size(), path.c_str());
+            } else {
+                std::printf("failed to write %s\n", path.c_str());
+            }
+            continue;
+        }
         const auto argv = kv::Sds::split_args(line);
         if (!argv.has_value() || argv->empty()) {
             std::printf("(parse error)\n");
@@ -90,6 +116,7 @@ int main() {
         std::vector<std::string> cmd;
         cmd.reserve(argv->size());
         for (const auto& a : *argv) cmd.push_back(a.str());
+        cluster.tracer().flow_issue(ch->flow_id(), shell_track);
         ch->send(kv::resp::command(cmd));
         // Run the simulation until the reply has been printed.
         cluster.sim().run_until(cluster.sim().now() + sim::milliseconds(50));

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -71,7 +72,16 @@ public:
     /// backlog). Used by replication-lag accounting.
     [[nodiscard]] virtual std::size_t backlog_bytes() const = 0;
 
+    /// Deterministic per-connection id, identical on both ends of a pair
+    /// (assigned at pair creation by the connection manager / TCP
+    /// handshake; reliable wrappers forward the inner channel's id). The
+    /// observability tracer correlates request stages across client and
+    /// server by this id. 0 means "not assigned".
+    [[nodiscard]] virtual std::uint64_t flow_id() const { return flow_id_; }
+    void set_flow_id(std::uint64_t id) { flow_id_ = id; }
+
 private:
+    std::uint64_t flow_id_ = 0;
     // The simulation is single-threaded; a plain counter is deterministic.
     inline static long live_count_ = 0;
 };

@@ -6,7 +6,21 @@
 
 namespace skv::net {
 
-Fabric::Fabric(sim::Simulation& sim) : sim_(sim) {}
+Fabric::Fabric(sim::Simulation& sim)
+    : sim_(sim),
+      c_sends_(obs_.counter_handle("sends")),
+      c_bytes_(obs_.counter_handle("bytes")),
+      c_delivers_(obs_.counter_handle("delivers")),
+      c_drops_in_flight_(obs_.counter_handle("drops_in_flight")),
+      c_fault_drops_(obs_.counter_handle("fault_drops")) {}
+
+std::uint32_t Fabric::fabric_track(EndpointId ep) {
+    Endpoint& e = endpoints_[ep];
+    if (e.obs_track == UINT32_MAX) {
+        e.obs_track = tracer_->track("fabric/" + e.name);
+    }
+    return e.obs_track;
+}
 
 sim::SimTime Fabric::Transmitter::reserve(sim::SimTime earliest, std::size_t bytes) {
     const auto ser = sim::Duration(
@@ -126,8 +140,11 @@ void Fabric::schedule_delivery(EndpointId from, EndpointId to, sim::SimTime when
                                std::function<void()> cb) {
     const std::uint64_t from_epoch = endpoints_[from].sever_epoch;
     const std::uint64_t to_epoch = endpoints_[to].sever_epoch;
-    sim_.at(when, [this, from, to, from_epoch, to_epoch,
-                   cb = std::move(cb)]() mutable {
+    const bool traced = tracer_ != nullptr && tracer_->enabled();
+    const sim::SimTime sent_at = sim_.now();
+    const std::uint32_t track = traced ? fabric_track(from) : 0;
+    sim_.at(when, [this, from, to, from_epoch, to_epoch, traced, sent_at,
+                   track, cb = std::move(cb)]() mutable {
         // A message is lost if either endpoint is down right now, or was cut
         // (and possibly restored) while the message was on the wire.
         const Endpoint& src = endpoints_[from];
@@ -135,11 +152,17 @@ void Fabric::schedule_delivery(EndpointId from, EndpointId to, sim::SimTime when
         if (src.severed || dst.severed || src.sever_epoch != from_epoch ||
             dst.sever_epoch != to_epoch) {
             ++dropped_in_flight_;
+            c_drops_in_flight_.incr();
             sim_.trace().note(sim::TraceEvent::kFabricDropInFlight, sim_.now(),
                               from, to);
             return;
         }
         sim_.trace().note(sim::TraceEvent::kFabricDeliver, sim_.now(), from, to);
+        c_delivers_.incr();
+        if (traced && tracer_ != nullptr) {
+            tracer_->complete(track, obs::Stage::kFabricTransfer, sent_at,
+                              sim_.now());
+        }
         cb();
     });
 }
@@ -151,6 +174,8 @@ sim::SimTime Fabric::send(EndpointId from, EndpointId to, std::size_t bytes,
 
     ++messages_;
     bytes_ += bytes;
+    c_sends_.incr();
+    c_bytes_.incr(bytes);
     // Determinism audit: every send folds (kind, time, route) into the
     // trace digest, so two runs of the same seed can be compared hop by hop.
     sim_.trace().note(sim::TraceEvent::kFabricSend, sim_.now(), from, to);
@@ -173,6 +198,7 @@ sim::SimTime Fabric::send(EndpointId from, EndpointId to, std::size_t bytes,
         auto decision = faults_->evaluate(from, to, sim_.now());
         if (decision.touched) {
             if (!decision.deliver) {
+                c_fault_drops_.incr();
                 sim_.trace().note(sim::TraceEvent::kFabricFaultDrop,
                                   sim_.now(), from, to);
                 return arrival;

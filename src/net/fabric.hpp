@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -104,6 +106,14 @@ public:
         return endpoints_.at(ep).is_companion;
     }
 
+    /// Fabric-level typed metrics (sends/delivers/drops, hot-path counters
+    /// pre-resolved to obs handles at construction).
+    [[nodiscard]] obs::Registry& obs() { return obs_; }
+    /// Wire the observability tracer; when enabled, every delivery records
+    /// a kFabricTransfer span on the sending endpoint's track. The tracer
+    /// only observes — it cannot change arrival times or event order.
+    void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
     /// True when `a` and `b` share one physical port (a host and its own
     /// companion SmartNIC): their traffic takes the internal PCIe path.
     [[nodiscard]] bool same_port(EndpointId a, EndpointId b) const;
@@ -136,6 +146,8 @@ private:
         // Bumped on every sever(): deliveries scheduled under an older epoch
         // are dead even if the endpoint has been restored since.
         std::uint64_t sever_epoch = 0;
+        // Lazily registered tracer track ("fabric/<name>").
+        std::uint32_t obs_track = UINT32_MAX;
     };
 
     /// Resolve which physical port (host endpoint index) carries external
@@ -151,6 +163,9 @@ private:
     void schedule_delivery(EndpointId from, EndpointId to, sim::SimTime when,
                            std::function<void()> cb);
 
+    /// Tracer track for `ep`, registered on first use.
+    [[nodiscard]] std::uint32_t fabric_track(EndpointId ep);
+
     sim::Simulation& sim_;
     sim::Duration switch_latency_{sim::nanoseconds(300)};
     std::vector<Endpoint> endpoints_;
@@ -158,6 +173,13 @@ private:
     std::uint64_t bytes_ = 0;
     std::uint64_t dropped_in_flight_ = 0;
     std::unique_ptr<FaultInjector> faults_;
+    obs::Registry obs_{"fabric"};
+    obs::Counter c_sends_;
+    obs::Counter c_bytes_;
+    obs::Counter c_delivers_;
+    obs::Counter c_drops_in_flight_;
+    obs::Counter c_fault_drops_;
+    obs::Tracer* tracer_ = nullptr;
 };
 
 } // namespace skv::net

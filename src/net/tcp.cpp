@@ -38,6 +38,11 @@ void TcpNetwork::connect(NodeRef from, EndpointId to, std::uint16_t port,
             auto server_side = std::make_shared<TcpChannel>(*this, listener.node, from.ep);
             client_side->wire(server_side);
             server_side->wire(client_side);
+            // Shared deterministic flow id for tracer correlation; the top
+            // bit keeps the TCP id space disjoint from the RDMA CM's.
+            const std::uint64_t flow = (1ULL << 63) | ++next_flow_;
+            client_side->set_flow_id(flow);
+            server_side->set_flow_id(flow);
             if (listener.on_accept) listener.on_accept(server_side);
             if (on_connected) on_connected(client_side);
         });

@@ -58,6 +58,7 @@ private:
     const cpu::CostModel& costs_;
     std::map<ListenerKey, Listener> listeners_;
     sim::Rng rng_;
+    std::uint64_t next_flow_ = 0; // deterministic flow-id source
 };
 
 /// One side of an established TCP connection.

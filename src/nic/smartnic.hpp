@@ -9,6 +9,7 @@
 #include "cpu/core.hpp"
 #include "net/channel.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace skv::nic {
@@ -73,6 +74,7 @@ public:
 
     [[nodiscard]] const SmartNicParams& params() const { return params_; }
     [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] obs::Registry& obs() { return obs_; }
 
 private:
     net::EndpointId host_;
@@ -82,6 +84,11 @@ private:
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::size_t mem_used_ = 0;
     std::map<std::uint16_t, SteerTarget> steering_;
+
+    obs::Registry obs_;
+    obs::Counter c_mem_rejects_;
+    obs::Gauge g_mem_used_;
+    obs::Gauge g_steering_rules_;
 };
 
 } // namespace skv::nic

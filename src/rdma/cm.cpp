@@ -51,6 +51,12 @@ void ConnectionManager::connect(net::NodeRef from, net::EndpointId to,
         server_ch->init_local();
         listener.node.core->consume(net_.costs().event_dispatch);
 
+        // Both ends of the pair share one deterministic flow id, letting
+        // the tracer correlate client and server request stamps.
+        const std::uint64_t flow = ++next_flow_;
+        client_ch->set_flow_id(flow);
+        server_ch->set_flow_id(flow);
+
         net_.fabric().send(
             to, from.ep, kCtrlBytes,
             [this, from, listener, client_ch, server_ch,

@@ -50,6 +50,9 @@ private:
 
     RdmaNetwork& net_;
     std::map<ListenerKey, Listener> listeners_;
+    // Deterministic flow-id source: handshakes complete in sim-event order,
+    // so both ends of pair N get id N (see net::Channel::flow_id).
+    std::uint64_t next_flow_ = 0;
 };
 
 } // namespace skv::rdma

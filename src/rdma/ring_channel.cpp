@@ -136,10 +136,26 @@ void RingChannel::on_cq_event() {
     // on the owner's core (ibv_get_cq_event + ibv_poll_cq + ack + re-arm).
     if (cq_task_scheduled_) return;
     cq_task_scheduled_ = true;
+    // Completion-channel wakeup span: event fire -> CQ drain task running
+    // (the scheduling gap is the "wakeup" the paper's event-driven master
+    // pays instead of burning a polling core).
+    obs::Tracer* tracer = net_.tracer();
+    const bool traced = tracer != nullptr && tracer->enabled();
+    const sim::SimTime fired_at = net_.simulation().now();
+    if (traced && obs_track_ == UINT32_MAX) {
+        obs_track_ = tracer->track("cq/" + net_.fabric().name_of(self_.ep));
+    }
     auto self = shared_from_this();
     self_.core->submit(
-        net_.costs().jittered(rng_, net_.costs().completion_handle), [self]() {
+        net_.costs().jittered(rng_, net_.costs().completion_handle),
+        [self, traced, fired_at]() {
             self->cq_task_scheduled_ = false;
+            if (traced) {
+                if (obs::Tracer* t = self->net_.tracer()) {
+                    t->complete(self->obs_track_, obs::Stage::kCqWakeup,
+                                fired_at, self->net_.simulation().now());
+                }
+            }
             if (!self->open_) return;
             self->batch_data_bytes_ = 0;
             for (const auto& c : self->recv_cq_->poll()) self->handle_completion(c);

@@ -141,6 +141,8 @@ private:
     std::uint64_t lost_gap_bytes_ = 0;
     std::uint64_t stale_frames_ = 0;
     std::uint64_t reassembly_resets_ = 0;
+    // Lazily registered tracer track for completion-wakeup spans.
+    std::uint32_t obs_track_ = UINT32_MAX;
 };
 
 using RingChannelPtr = std::shared_ptr<RingChannel>;

@@ -87,10 +87,14 @@ std::vector<Completion> CompletionQueue::poll(std::size_t max) {
 
 RdmaNetwork::RdmaNetwork(sim::Simulation& sim, net::Fabric& fabric,
                          const cpu::CostModel& costs)
-    : sim_(sim), fabric_(fabric), costs_(costs), rng_(sim.fork_rng()) {}
+    : sim_(sim), fabric_(fabric), costs_(costs), rng_(sim.fork_rng()),
+      c_wr_posts_(obs_.counter_handle("wr_posts")),
+      c_write_imm_(obs_.counter_handle("write_with_imm")),
+      c_mr_regs_(obs_.counter_handle("mr_registrations")) {}
 
 MemoryRegionPtr RdmaNetwork::register_mr(net::NodeRef node, std::size_t size) {
     auto mr = std::make_shared<MemoryRegion>(next_rkey_++, size);
+    c_mr_regs_.incr();
     mrs_[mr->rkey()] = mr;
     if (node.core) node.core->consume(costs_.mr_register);
     return mr;
@@ -148,6 +152,8 @@ void QueuePair::post_recv(std::uint64_t wr_id, MemoryRegionPtr mr,
 }
 
 void QueuePair::post_send(SendWr wr) {
+    net_.c_wr_posts_.incr();
+    if (wr.op == Opcode::kWriteWithImm) net_.c_write_imm_.incr();
     auto peer = peer_.lock();
     if (!peer) {
         self_.core->consume(net_.wr_post_cost(self_.ep));

@@ -12,6 +12,8 @@
 #include "cpu/cost_model.hpp"
 #include "net/channel.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulation.hpp"
 
 namespace skv::rdma {
@@ -279,7 +281,16 @@ public:
     /// RoCE header overhead added to payload size on the wire.
     static constexpr std::size_t kHeaderBytes = 58; // Eth+IP+UDP+BTH(+RETH)
 
+    /// RDMA-layer typed metrics (WR posts, WRITE_WITH_IMM count, MR
+    /// registrations — hot counters pre-resolved at construction).
+    [[nodiscard]] obs::Registry& obs() { return obs_; }
+    /// Observability tracer shared by all RDMA objects of this network;
+    /// RingChannels record completion-channel wakeup spans through it.
+    void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+    [[nodiscard]] obs::Tracer* tracer() { return tracer_; }
+
 private:
+    friend class QueuePair;
     sim::Simulation& sim_;
     net::Fabric& fabric_;
     const cpu::CostModel& costs_;
@@ -288,6 +299,11 @@ private:
     std::uint32_t next_rkey_ = 1;
     std::uint64_t writes_unknown_mr_ = 0;
     std::map<std::uint32_t, std::weak_ptr<MemoryRegion>> mrs_;
+    obs::Registry obs_{"rdma"};
+    obs::Counter c_wr_posts_;
+    obs::Counter c_write_imm_;
+    obs::Counter c_mr_regs_;
+    obs::Tracer* tracer_ = nullptr;
 };
 
 } // namespace skv::rdma

@@ -59,6 +59,15 @@ struct ServerConfig {
     /// leave it invalid forever (it has nothing unacked, so its reliable
     /// layer never reports the link broken).
     sim::Duration probe_silence_timeout{sim::seconds(3)};
+
+    /// Commands whose service time (queue wait + execution on the core)
+    /// meets this threshold are recorded in the SLOWLOG ring (Redis default:
+    /// 10ms). Zero records everything; negative disables recording.
+    sim::Duration slowlog_threshold{sim::milliseconds(10)};
+    /// Maximum retained SLOWLOG entries (oldest evicted first).
+    std::size_t slowlog_max_len = 128;
+    /// LATENCY HISTORY ring depth per event class.
+    std::size_t latency_history_len = 16;
 };
 
 } // namespace skv::server

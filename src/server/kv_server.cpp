@@ -32,7 +32,15 @@ KvServer::KvServer(sim::Simulation& sim, const cpu::CostModel& costs,
       rng_(sim.fork_rng()),
       db_([&sim]() { return sim.now().ns() / 1'000'000; }),
       backlog_(cfg_.backlog_bytes),
-      commands_table_(kv::CommandTable::instance()) {
+      commands_table_(kv::CommandTable::instance()), stats_(cfg_.name),
+      c_reads_(stats_.counter_handle("reads")),
+      c_writes_(stats_.counter_handle("writes")),
+      c_repl_offload_(stats_.counter_handle("repl_offload_requests")),
+      c_repl_sends_(stats_.counter_handle("repl_sends")),
+      c_repl_applied_(stats_.counter_handle("repl_applied")),
+      t_cmd_all_(stats_.timer_handle("cmd.service")),
+      t_cmd_write_(stats_.timer_handle("cmd.service.write")),
+      t_cmd_read_(stats_.timer_handle("cmd.service.read")) {
     SKV_CHECK(self_.valid());
     SKV_CHECK(nets_.fabric != nullptr);
     SKV_DCHECK(cfg_.transport == Transport::kTcp ? nets_.tcp != nullptr
@@ -62,6 +70,11 @@ void KvServer::listen_all() {
         nets_.cm->listen(self_, static_cast<std::uint16_t>(cfg_.port + 1),
                          node_accept);
     }
+}
+
+void KvServer::set_tracer(obs::Tracer* tracer, const std::string& track_name) {
+    tracer_ = tracer;
+    obs_track_ = tracer != nullptr ? tracer->track(track_name) : UINT32_MAX;
 }
 
 // --- connections -------------------------------------------------------------
@@ -106,7 +119,7 @@ void KvServer::release_conn(const net::Channel* raw) {
 
 net::ChannelPtr KvServer::wrap_node_link(net::ChannelPtr ch) {
     if (!cfg_.reliable_node_links || !ch) return ch;
-    auto rel = ReliableChannel::wrap(sim_, std::move(ch), cfg_.reliable);
+    auto rel = ReliableChannel::wrap(sim_, std::move(ch), cfg_.reliable, &stats_);
     const net::Channel* raw = rel.get();
     rel->set_on_broken([this, raw]() { on_node_link_broken(raw); });
     return rel;
@@ -234,20 +247,43 @@ bool KvServer::write_allowed(std::string* err, const char** reason) const {
 
 void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv) {
     if (argv.empty()) return;
-    // INFO is served by the server, not the engine: it reports replication
-    // and server state the command table cannot see.
-    if (kv::Sds(argv[0]).iequals("INFO")) {
-        self_.core->submit(costs_.jittered(rng_, command_cost(argv, nullptr)),
-                           [this, conn]() {
-                               ++commands_;
-                               stats_.incr("reads");
-                               conn->channel->send(kv::resp::bulk(info_sections()));
-                           });
+    const sim::SimTime t0 = sim_.now();
+    const bool traced = tracer_ != nullptr && tracer_->enabled();
+    if (traced) {
+        // Span stage: the client's issue -> here is the RDMA write + parse
+        // leg. No-ops for flows the tracer never saw issued (raw shells).
+        tracer_->flow_server_recv(conn->channel->flow_id(), obs_track_);
+    }
+    // INFO / SLOWLOG / LATENCY are served by the server, not the engine:
+    // they report replication, latency and server state the command table
+    // cannot see.
+    const kv::Sds cmd0(argv[0]);
+    if (cmd0.iequals("INFO") || cmd0.iequals("SLOWLOG") ||
+        cmd0.iequals("LATENCY")) {
+        self_.core->submit(
+            costs_.jittered(rng_, command_cost(argv, nullptr)),
+            [this, conn, argv = std::move(argv), t0, traced]() {
+                ++commands_;
+                c_reads_.incr();
+                std::string reply;
+                const kv::Sds c0(argv[0]);
+                if (c0.iequals("INFO")) {
+                    reply = kv::resp::bulk(info_sections());
+                } else if (c0.iequals("SLOWLOG")) {
+                    reply = slowlog_reply(argv);
+                } else {
+                    reply = latency_reply(argv);
+                }
+                record_command_latency(argv, /*is_write=*/false, t0);
+                if (traced) tracer_->flow_server_done(conn->channel->flow_id());
+                conn->channel->send(std::move(reply));
+            });
         return;
     }
     const kv::CommandSpec* spec = commands_table_.lookup(argv[0]);
     const sim::Duration cost = costs_.jittered(rng_, command_cost(argv, spec));
-    self_.core->submit(cost, [this, conn, argv = std::move(argv), spec]() {
+    self_.core->submit(cost, [this, conn, argv = std::move(argv), spec, t0,
+                              traced]() {
         ++commands_;
         std::string reply;
         if (spec != nullptr && spec->is_write()) {
@@ -256,6 +292,8 @@ void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv)
             if (!write_allowed(&err, &reason)) {
                 stats_.incr("writes_rejected");
                 stats_.incr(reason);
+                record_command_latency(argv, /*is_write=*/true, t0);
+                if (traced) tracer_->flow_server_done(conn->channel->flow_id());
                 conn->channel->send(kv::resp::error(err));
                 return;
             }
@@ -265,9 +303,119 @@ void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv)
         if (!res.repl_argv.empty() && role_ != Role::kSlave) {
             propagate(res.repl_argv);
         }
-        stats_.incr(res.is_write ? "writes" : "reads");
+        if (res.is_write) {
+            c_writes_.incr();
+        } else {
+            c_reads_.incr();
+        }
+        record_command_latency(argv, res.is_write, t0);
+        if (traced) tracer_->flow_server_done(conn->channel->flow_id());
         conn->channel->send(std::move(reply));
     });
+}
+
+void KvServer::record_command_latency(const std::vector<std::string>& argv,
+                                      bool is_write, sim::SimTime t0) {
+    const sim::Duration dur = sim_.now() - t0;
+    t_cmd_all_.record(dur);
+    (is_write ? t_cmd_write_ : t_cmd_read_).record(dur);
+    if (cfg_.slowlog_threshold.ns() >= 0 &&
+        dur.ns() >= cfg_.slowlog_threshold.ns()) {
+        SlowlogEntry e;
+        e.id = next_slowlog_id_++;
+        e.when_ns = sim_.now().ns();
+        e.dur_ns = dur.ns();
+        // Like Redis, cap the retained argv so a huge MSET cannot bloat the
+        // ring; the command name plus first args identify the culprit.
+        const std::size_t keep = std::min<std::size_t>(argv.size(), 8);
+        e.argv.assign(argv.begin(),
+                      argv.begin() + static_cast<std::ptrdiff_t>(keep));
+        slowlog_.push_back(std::move(e));
+        while (slowlog_.size() > cfg_.slowlog_max_len) slowlog_.pop_front();
+    }
+    LatencyEvent& ev =
+        latency_events_[is_write ? "command-write" : "command-read"];
+    ev.last_ns = sim_.now().ns();
+    ev.last_dur_ns = dur.ns();
+    ev.max_dur_ns = std::max(ev.max_dur_ns, dur.ns());
+    ev.history.emplace_back(sim_.now().ns(), dur.ns());
+    while (ev.history.size() > cfg_.latency_history_len) ev.history.pop_front();
+}
+
+std::string KvServer::slowlog_reply(const std::vector<std::string>& argv) {
+    const std::string_view usage =
+        "ERR wrong number of arguments for 'slowlog' command";
+    if (argv.size() < 2) return kv::resp::error(usage);
+    const kv::Sds sub(argv[1]);
+    if (sub.iequals("RESET")) {
+        slowlog_.clear();
+        return kv::resp::simple("OK");
+    }
+    if (sub.iequals("LEN")) {
+        return kv::resp::integer(static_cast<long long>(slowlog_.size()));
+    }
+    if (sub.iequals("GET")) {
+        long long want = 10;
+        if (argv.size() >= 3) {
+            const auto n = kv::string2ll(argv[2]);
+            if (!n.has_value()) {
+                return kv::resp::error("ERR value is not an integer or out of range");
+            }
+            want = *n < 0 ? static_cast<long long>(slowlog_.size()) : *n;
+        }
+        const auto count = std::min<std::size_t>(
+            slowlog_.size(), static_cast<std::size_t>(std::max<long long>(want, 0)));
+        std::string out = kv::resp::array_header(count);
+        // Newest first, Redis-style. Entry: id, sim-time (s), duration (us),
+        // argv.
+        auto it = slowlog_.rbegin();
+        for (std::size_t i = 0; i < count; ++i, ++it) {
+            out += kv::resp::array_header(4);
+            out += kv::resp::integer(static_cast<long long>(it->id));
+            out += kv::resp::integer(it->when_ns / 1'000'000'000);
+            out += kv::resp::integer(it->dur_ns / 1'000);
+            out += kv::resp::array_header(it->argv.size());
+            for (const auto& a : it->argv) out += kv::resp::bulk(a);
+        }
+        return out;
+    }
+    return kv::resp::error("ERR unknown SLOWLOG subcommand '" + argv[1] + "'");
+}
+
+std::string KvServer::latency_reply(const std::vector<std::string>& argv) {
+    if (argv.size() < 2 || kv::Sds(argv[1]).iequals("LATEST")) {
+        // Array of [event, sim-time (s), last duration (us), max duration
+        // (us)] — Redis reports milliseconds; this simulation's interesting
+        // tail lives in microseconds.
+        std::string out = kv::resp::array_header(latency_events_.size());
+        for (const auto& [name, ev] : latency_events_) {
+            out += kv::resp::array_header(4);
+            out += kv::resp::bulk(name);
+            out += kv::resp::integer(ev.last_ns / 1'000'000'000);
+            out += kv::resp::integer(ev.last_dur_ns / 1'000);
+            out += kv::resp::integer(ev.max_dur_ns / 1'000);
+        }
+        return out;
+    }
+    const kv::Sds sub(argv[1]);
+    if (sub.iequals("RESET")) {
+        const auto n = static_cast<long long>(latency_events_.size());
+        latency_events_.clear();
+        return kv::resp::integer(n);
+    }
+    if (sub.iequals("HISTORY")) {
+        if (argv.size() < 3) return kv::resp::array_header(0);
+        const auto it = latency_events_.find(argv[2]);
+        if (it == latency_events_.end()) return kv::resp::array_header(0);
+        std::string out = kv::resp::array_header(it->second.history.size());
+        for (const auto& [when_ns, dur_ns] : it->second.history) {
+            out += kv::resp::array_header(2);
+            out += kv::resp::integer(when_ns / 1'000'000'000);
+            out += kv::resp::integer(dur_ns / 1'000);
+        }
+        return out;
+    }
+    return kv::resp::error("ERR unknown LATENCY subcommand '" + argv[1] + "'");
 }
 
 // --- replication: master side ---------------------------------------------------
@@ -277,17 +425,24 @@ void KvServer::propagate(const std::vector<std::string>& repl_argv) {
     const std::int64_t start = backlog_.master_offset();
     backlog_.append(bytes);
 
+    const bool traced = tracer_ != nullptr && tracer_->enabled();
     if (cfg_.offload_replication) {
         if (!nic_attached_ || !nic_link_ || !nic_link_->open()) return;
         // SKV: one replication request to the SmartNIC, regardless of the
         // number of slaves — the per-write saving the paper measures.
         self_.core->consume(costs_.jittered(rng_, costs_.offload_request_build));
         nic_link_->send(NodeMsg{NodeMsg::Type::kReplData, start, bytes}.encode());
-        stats_.incr("repl_offload_requests");
+        c_repl_offload_.incr();
+        if (traced) {
+            tracer_->repl_propagate(start,
+                                    start + static_cast<std::int64_t>(bytes.size()),
+                                    obs_track_);
+        }
         return;
     }
     // Baseline: feed every slave's buffer and post one WR each, one by one,
     // before the client reply goes out.
+    bool sent_any = false;
     for (auto& s : slaves_) {
         if (!s.valid || !s.channel || !s.channel->open()) continue;
         sim::Duration feed = costs_.jittered(rng_, costs_.repl_feed_slave) +
@@ -297,7 +452,13 @@ void KvServer::propagate(const std::vector<std::string>& repl_argv) {
         }
         self_.core->consume(feed);
         s.channel->send(NodeMsg{NodeMsg::Type::kReplData, start, bytes}.encode());
-        stats_.incr("repl_sends");
+        c_repl_sends_.incr();
+        sent_any = true;
+    }
+    if (traced && sent_any) {
+        tracer_->repl_propagate(start,
+                                start + static_cast<std::int64_t>(bytes.size()),
+                                obs_track_);
     }
 }
 
@@ -432,6 +593,9 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
                                    });
             if (it != slaves_.end()) {
                 it->ack_offset = std::max(it->ack_offset, msg.field);
+                if (tracer_ != nullptr && tracer_->enabled()) {
+                    tracer_->repl_ack(msg.field);
+                }
             }
             break;
         }
@@ -446,6 +610,9 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
         }
         case NodeMsg::Type::kReplData: {
             // Slave: a chunk of the replication stream.
+            if (tracer_ != nullptr && tracer_->enabled()) {
+                tracer_->repl_slave_apply(msg.field, obs_track_);
+            }
             apply_repl_stream(msg.field, msg.body);
             break;
         }
@@ -573,7 +740,7 @@ void KvServer::apply_one(std::vector<std::string> argv) {
                        [this, argv = std::move(argv)]() {
                            std::string reply;
                            commands_table_.execute(db_, rng_, argv, reply);
-                           stats_.incr("repl_applied");
+                           c_repl_applied_.incr();
                        });
 }
 
@@ -840,6 +1007,16 @@ std::string KvServer::info_sections() const {
            ",expires=" + kv::ll2string(static_cast<long long>(db_.expires_size())) + "\r\n";
     out += "# Stats\r\n";
     out += "total_commands_processed:" + kv::ll2string(static_cast<long long>(commands_)) + "\r\n";
+    out += "total_reads:" + kv::ll2string(static_cast<long long>(stats_.counter("reads"))) + "\r\n";
+    out += "total_writes:" + kv::ll2string(static_cast<long long>(stats_.counter("writes"))) + "\r\n";
+    out += "slowlog_len:" + kv::ll2string(static_cast<long long>(slowlog_.size())) + "\r\n";
+    out += "# Latencystats\r\n";
+    if (const auto* h = t_cmd_all_.histogram(); h != nullptr && h->count() > 0) {
+        out += "cmd_service_count:" + kv::ll2string(static_cast<long long>(h->count())) + "\r\n";
+        out += "cmd_service_p50_usec:" + kv::ll2string(h->p50_ns() / 1'000) + "\r\n";
+        out += "cmd_service_p99_usec:" + kv::ll2string(h->p99_ns() / 1'000) + "\r\n";
+        out += "cmd_service_max_usec:" + kv::ll2string(h->max_ns() / 1'000) + "\r\n";
+    }
     return out;
 }
 

@@ -15,10 +15,11 @@
 #include "net/channel.hpp"
 #include "net/tcp.hpp"
 #include "rdma/cm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "server/config.hpp"
 #include "server/protocol.hpp"
 #include "sim/simulation.hpp"
-#include "sim/stats.hpp"
 
 namespace skv::server {
 
@@ -82,7 +83,7 @@ public:
     /// Connection objects currently retained (clients + node links); the
     /// lifetime regression test asserts this shrinks when links die.
     [[nodiscard]] std::size_t client_conns() const { return clients_.size(); }
-    [[nodiscard]] sim::StatsRegistry& stats() { return stats_; }
+    [[nodiscard]] obs::Registry& stats() { return stats_; }
     [[nodiscard]] std::uint64_t commands_processed() const { return commands_; }
     /// The SKV master's replication-request channel (introspection).
     [[nodiscard]] const net::ChannelPtr& nic_link() const { return nic_link_; }
@@ -91,6 +92,22 @@ public:
     [[nodiscard]] std::string info() const;
     /// The INFO command's sectioned body (Server/Clients/Replication/...).
     [[nodiscard]] std::string info_sections() const;
+
+    /// One retained slow command (SLOWLOG GET). Times are sim-time.
+    struct SlowlogEntry {
+        std::uint64_t id = 0;
+        std::int64_t when_ns = 0;
+        std::int64_t dur_ns = 0;
+        std::vector<std::string> argv;
+    };
+    [[nodiscard]] const std::deque<SlowlogEntry>& slowlog() const {
+        return slowlog_;
+    }
+
+    /// Wire the cluster's observability tracer. `track_name` names this
+    /// server's chrome-trace row. The tracer only observes (no events, no
+    /// RNG), so wiring or enabling it never changes the trace digest.
+    void set_tracer(obs::Tracer* tracer, const std::string& track_name);
 
 private:
     struct ClientConn {
@@ -147,6 +164,12 @@ private:
     void load_snapshot(std::int64_t offset, const std::string& rdb_bytes);
     void send_ack();
 
+    // -- introspection commands / latency accounting
+    void record_command_latency(const std::vector<std::string>& argv,
+                                bool is_write, sim::SimTime t0);
+    [[nodiscard]] std::string slowlog_reply(const std::vector<std::string>& argv);
+    [[nodiscard]] std::string latency_reply(const std::vector<std::string>& argv);
+
     // -- cron
     void cron();
 
@@ -198,7 +221,31 @@ private:
 
     std::uint64_t commands_ = 0;
     std::int64_t cron_ticks_ = 0;
-    sim::StatsRegistry stats_;
+    obs::Registry stats_;
+    // Hot-path counters/timers pre-resolved against stats_ in the
+    // constructor (same cells the string API addresses).
+    obs::Counter c_reads_;
+    obs::Counter c_writes_;
+    obs::Counter c_repl_offload_;
+    obs::Counter c_repl_sends_;
+    obs::Counter c_repl_applied_;
+    obs::Timer t_cmd_all_;
+    obs::Timer t_cmd_write_;
+    obs::Timer t_cmd_read_;
+
+    obs::Tracer* tracer_ = nullptr;
+    std::uint32_t obs_track_ = UINT32_MAX;
+
+    // SLOWLOG / LATENCY state (sim-time, deterministic).
+    std::uint64_t next_slowlog_id_ = 0;
+    std::deque<SlowlogEntry> slowlog_;
+    struct LatencyEvent {
+        std::int64_t last_ns = 0;
+        std::int64_t last_dur_ns = 0;
+        std::int64_t max_dur_ns = 0;
+        std::deque<std::pair<std::int64_t, std::int64_t>> history;
+    };
+    std::map<std::string, LatencyEvent> latency_events_;
 };
 
 } // namespace skv::server

@@ -58,11 +58,18 @@ std::uint32_t ReliableChannel::crc32(std::string_view bytes) {
 
 std::shared_ptr<ReliableChannel> ReliableChannel::wrap(sim::Simulation& sim,
                                                        net::ChannelPtr inner,
-                                                       ReliableParams params) {
+                                                       ReliableParams params,
+                                                       obs::Registry* reg) {
     SKV_CHECK(inner);
     auto ch = std::shared_ptr<ReliableChannel>(
         new ReliableChannel(sim, std::move(inner), params));
     ch->rto_ = params.initial_rto;
+    if (reg != nullptr) {
+        ch->c_retransmits_ = reg->counter_handle("rel.retransmits");
+        ch->c_dups_ = reg->counter_handle("rel.dups_suppressed");
+        ch->c_crc_drops_ = reg->counter_handle("rel.crc_drops");
+        ch->c_acks_ = reg->counter_handle("rel.acks_sent");
+    }
     std::weak_ptr<ReliableChannel> weak = ch;
     ch->inner_->set_on_message([weak](std::string payload) {
         if (auto self = weak.lock()) self->on_inner_message(std::move(payload));
@@ -112,6 +119,7 @@ void ReliableChannel::on_rto(std::uint64_t epoch) {
     }
     ++oldest.retries;
     ++retransmits_;
+    c_retransmits_.incr();
     inner_->send(oldest.wire);
     rto_ = std::min(
         sim::Duration(static_cast<std::int64_t>(
@@ -146,6 +154,7 @@ void ReliableChannel::on_inner_message(std::string payload) {
             // Truncated/garbled reassembly under injected loss: drop and let
             // the ack (not covering this seq) trigger a retransmission.
             ++crc_drops_;
+            c_crc_drops_.incr();
             schedule_ack(/*immediate=*/true);
             return;
         }
@@ -154,6 +163,7 @@ void ReliableChannel::on_inner_message(std::string payload) {
     }
     // Not a reliable frame at all — garbage from a loss hole.
     ++crc_drops_;
+    c_crc_drops_.incr();
 }
 
 void ReliableChannel::handle_data(std::uint64_t seq, std::string payload) {
@@ -161,6 +171,7 @@ void ReliableChannel::handle_data(std::uint64_t seq, std::string payload) {
         // Retransmission of something we already have: the sender missed an
         // ack. Re-ack immediately so it stops.
         ++dups_suppressed_;
+        c_dups_.incr();
         schedule_ack(/*immediate=*/true);
         return;
     }
@@ -182,7 +193,8 @@ void ReliableChannel::handle_data(std::uint64_t seq, std::string payload) {
     if (reorder_.size() < params_.reorder_window) {
         reorder_.emplace(seq, std::move(payload));
     } else {
-        ++dups_suppressed_; // dropped; retransmission will restore order
+        ++dups_suppressed_;
+        c_dups_.incr(); // dropped; retransmission will restore order
     }
     schedule_ack(/*immediate=*/true);
 }
@@ -202,6 +214,7 @@ void ReliableChannel::send_ack_now() {
     wire.push_back(kAck);
     put_u64(wire, delivered_seq_);
     ++acks_sent_;
+    c_acks_.incr();
     inner_->send(std::move(wire));
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "net/channel.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace skv::server {
@@ -49,9 +50,13 @@ class ReliableChannel final
 public:
     /// Wrap `inner`; the wrapper installs its own inner receive handler
     /// immediately (shared_from_this forbids doing this in a constructor).
+    /// When `reg` is given, the owner's aggregate rel.* counters
+    /// (retransmits/dups/crc drops/acks) are pre-resolved once here and the
+    /// retransmit hot path pays a pointer bump instead of a map lookup.
     static std::shared_ptr<ReliableChannel> wrap(sim::Simulation& sim,
                                                  net::ChannelPtr inner,
-                                                 ReliableParams params = {});
+                                                 ReliableParams params = {},
+                                                 obs::Registry* reg = nullptr);
 
     // --- net::Channel ----------------------------------------------------
     void send(std::string payload) override;
@@ -65,6 +70,9 @@ public:
     }
     [[nodiscard]] std::size_t backlog_bytes() const override {
         return inner_->backlog_bytes();
+    }
+    [[nodiscard]] std::uint64_t flow_id() const override {
+        return inner_->flow_id();
     }
 
     /// Fires once, when max_retries is exhausted on some message.
@@ -126,6 +134,13 @@ private:
     std::uint64_t dups_suppressed_ = 0;
     std::uint64_t crc_drops_ = 0;
     std::uint64_t acks_sent_ = 0;
+
+    // Owner-scoped aggregate counters, pre-resolved in wrap(). Inert when
+    // no registry was supplied.
+    obs::Counter c_retransmits_;
+    obs::Counter c_dups_;
+    obs::Counter c_crc_drops_;
+    obs::Counter c_acks_;
 };
 
 using ReliableChannelPtr = std::shared_ptr<ReliableChannel>;

@@ -68,12 +68,28 @@ double LatencyHistogram::mean_ns() const {
 std::int64_t LatencyHistogram::quantile_ns(double q) const {
     if (count_ == 0) return 0;
     q = std::clamp(q, 0.0, 1.0);
-    // Rank of the q-th sample, 1-based, matching "q of samples are <= value".
-    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    // Fractional 0-based rank of the quantile sample. Returning the upper
+    // bucket edge (the old behavior) is biased high by up to a full bucket
+    // width, which dominates p99/p999 on small sample counts; instead
+    // interpolate linearly inside the containing bucket by the fraction of
+    // its samples below the rank, then clamp to the observed value range so
+    // sparse tails (e.g. a single sample) report exact values.
+    const double r = q * static_cast<double>(count_ - 1);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        seen += buckets_[i];
-        if (seen >= rank) return std::min(bucket_upper(i), max_ns());
+        const std::uint64_t c = buckets_[i];
+        if (c == 0) continue;
+        if (r < static_cast<double>(seen) + static_cast<double>(c)) {
+            const std::int64_t upper = bucket_upper(i);
+            const std::int64_t lower = i == 0 ? 0 : bucket_upper(i - 1) + 1;
+            const double frac =
+                (r - static_cast<double>(seen)) / static_cast<double>(c);
+            const auto v = static_cast<std::int64_t>(
+                static_cast<double>(lower) +
+                frac * static_cast<double>(upper - lower));
+            return std::clamp(v, min_ns(), max_ns());
+        }
+        seen += c;
     }
     return max_ns();
 }

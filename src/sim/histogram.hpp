@@ -27,13 +27,15 @@ public:
     [[nodiscard]] std::int64_t max_ns() const;
     [[nodiscard]] double mean_ns() const;
 
-    /// Value at quantile q in [0, 1]; returns the upper edge of the bucket
-    /// containing the q-th sample. q=0.5 -> median, q=0.99 -> p99.
+    /// Value at quantile q in [0, 1], linearly interpolated inside the
+    /// bucket containing the q-th sample and clamped to [min_ns, max_ns].
+    /// q=0.5 -> median, q=0.99 -> p99.
     [[nodiscard]] std::int64_t quantile_ns(double q) const;
 
     [[nodiscard]] double mean_us() const { return mean_ns() / 1e3; }
     [[nodiscard]] std::int64_t p50_ns() const { return quantile_ns(0.50); }
     [[nodiscard]] std::int64_t p99_ns() const { return quantile_ns(0.99); }
+    [[nodiscard]] std::int64_t p999_ns() const { return quantile_ns(0.999); }
 
     void clear();
 

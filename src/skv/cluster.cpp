@@ -5,9 +5,14 @@
 namespace skv::offload {
 
 Cluster::Cluster(ClusterConfig cfg)
-    : cfg_(std::move(cfg)), sim_(cfg_.seed), fabric_(sim_),
+    : cfg_(std::move(cfg)), sim_(cfg_.seed), tracer_(sim_), fabric_(sim_),
       tcp_(sim_, fabric_, cfg_.costs), rdma_(sim_, fabric_, cfg_.costs),
-      cm_(rdma_) {}
+      cm_(rdma_) {
+    // Observability wiring: every component shares the cluster tracer. It
+    // starts disabled, so instrumented code paths are no-ops by default.
+    fabric_.set_tracer(&tracer_);
+    rdma_.set_tracer(&tracer_);
+}
 
 void Cluster::start() {
     SKV_CHECK(!started_);
@@ -25,6 +30,7 @@ void Cluster::start() {
     mcfg.offload_replication = cfg_.offload;
     master_ = std::make_unique<server::KvServer>(sim_, cfg_.costs, nets,
                                                  master_node, mcfg);
+    master_->set_tracer(&tracer_, "server/master");
 
     // SmartNIC + Nic-KV on the master (SKV mode only; the baseline's NIC
     // switch steers everything straight to the host).
@@ -40,6 +46,7 @@ void Cluster::start() {
         ncfg.reliable_node_links = cfg_.server_tmpl.reliable_node_links;
         ncfg.reliable = cfg_.server_tmpl.reliable;
         nickv_ = std::make_unique<NicKv>(sim_, cfg_.costs, cm_, *nic_, ncfg);
+        nickv_->set_tracer(&tracer_, "nic/" + ncfg.name);
     }
 
     // Slave hosts.
@@ -54,6 +61,7 @@ void Cluster::start() {
         scfg.offload_replication = false;
         slaves_.push_back(std::make_unique<server::KvServer>(
             sim_, cfg_.costs, nets, node, scfg));
+        slaves_.back()->set_tracer(&tracer_, "server/" + name);
     }
 
     // Bring everything up: listeners first, then the replication topology.

@@ -9,6 +9,7 @@
 #include "net/fabric.hpp"
 #include "net/tcp.hpp"
 #include "nic/smartnic.hpp"
+#include "obs/tracer.hpp"
 #include "rdma/cm.hpp"
 #include "rdma/verbs.hpp"
 #include "server/kv_server.hpp"
@@ -46,6 +47,10 @@ public:
 
     [[nodiscard]] sim::Simulation& sim() { return sim_; }
     [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+    /// Cluster-wide span tracer. Created disabled; call
+    /// `tracer().set_enabled(true)` before the workload to collect spans.
+    /// Enabling it never changes simulation behavior or the trace digest.
+    [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
     [[nodiscard]] const cpu::CostModel& costs() const { return cfg_.costs; }
     [[nodiscard]] const ClusterConfig& config() const { return cfg_; }
 
@@ -75,6 +80,7 @@ public:
 private:
     ClusterConfig cfg_;
     sim::Simulation sim_;
+    obs::Tracer tracer_;
     net::Fabric fabric_;
     net::TcpNetwork tcp_;
     rdma::RdmaNetwork rdma_;

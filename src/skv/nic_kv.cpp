@@ -13,7 +13,9 @@ using server::NodeMsg;
 NicKv::NicKv(sim::Simulation& sim, const cpu::CostModel& costs,
              rdma::ConnectionManager& cm, nic::SmartNic& nic, NicKvConfig cfg)
     : sim_(sim), costs_(costs), cm_(cm), nic_(nic), cfg_(std::move(cfg)),
-      rng_(sim.fork_rng()) {}
+      rng_(sim.fork_rng()), stats_(cfg_.name),
+      c_fanout_sends_(stats_.counter_handle("fanout_sends")),
+      c_repl_requests_(stats_.counter_handle("repl_requests")) {}
 
 void NicKv::start() {
     SKV_CHECK(!started_);
@@ -29,7 +31,8 @@ void NicKv::start() {
 
 void NicKv::on_accept(net::ChannelPtr ch) {
     if (cfg_.reliable_node_links) {
-        auto rel = server::ReliableChannel::wrap(sim_, std::move(ch), cfg_.reliable);
+        auto rel = server::ReliableChannel::wrap(sim_, std::move(ch),
+                                                 cfg_.reliable, &stats_);
         const net::Channel* rel_raw = rel.get();
         rel->set_on_broken([this, rel_raw]() { on_link_broken(rel_raw); });
         ch = rel;
@@ -251,6 +254,10 @@ void NicKv::register_slave(const net::ChannelPtr& ch, const NodeMsg& msg) {
 void NicKv::fan_out(const NodeMsg& msg) {
     // Parse the replication request on the primary ARM core.
     nic_.core(0).consume(costs_.jittered(rng_, costs_.nic_repl_parse));
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        // Span stage: master propagate -> NIC parse (offload request leg).
+        tracer_->repl_fanout(msg.field, obs_track_);
+    }
     fanout_offset_ = msg.field + static_cast<std::int64_t>(msg.body.size());
     const std::string wire = msg.encode();
     for (auto& e : nodes_) {
@@ -261,9 +268,9 @@ void NicKv::fan_out(const NodeMsg& msg) {
         core.consume(costs_.jittered(rng_, costs_.nic_repl_fanout_per_slave) +
                      costs_.copy_cost(msg.body.size()));
         e.channel->send(wire);
-        stats_.incr("fanout_sends");
+        c_fanout_sends_.incr();
     }
-    stats_.incr("repl_requests");
+    c_repl_requests_.incr();
 }
 
 void NicKv::handle_probe_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {

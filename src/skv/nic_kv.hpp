@@ -8,11 +8,12 @@
 #include "cpu/cost_model.hpp"
 #include "net/channel.hpp"
 #include "nic/smartnic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "rdma/cm.hpp"
 #include "server/protocol.hpp"
 #include "server/reliable.hpp"
 #include "sim/simulation.hpp"
-#include "sim/stats.hpp"
 
 namespace skv::offload {
 
@@ -73,7 +74,14 @@ public:
     [[nodiscard]] bool master_valid() const;
     [[nodiscard]] std::int64_t fanout_offset() const { return fanout_offset_; }
     [[nodiscard]] int effective_threads() const;
-    [[nodiscard]] sim::StatsRegistry& stats() { return stats_; }
+    [[nodiscard]] obs::Registry& stats() { return stats_; }
+
+    /// Wire the cluster's observability tracer; `track_name` labels the NIC
+    /// row in the chrome trace. Observation only — never perturbs the sim.
+    void set_tracer(obs::Tracer* tracer, const std::string& track_name) {
+        tracer_ = tracer;
+        obs_track_ = tracer != nullptr ? tracer->track(track_name) : UINT32_MAX;
+    }
     [[nodiscard]] const NicKvConfig& config() const { return cfg_; }
     [[nodiscard]] net::EndpointId endpoint() const { return nic_.endpoint(); }
 
@@ -113,7 +121,12 @@ private:
     std::uint64_t probe_round_ = 0;
     bool started_ = false;
 
-    sim::StatsRegistry stats_;
+    obs::Registry stats_;
+    // Fan-out hot-path counters, pre-resolved in the constructor.
+    obs::Counter c_fanout_sends_;
+    obs::Counter c_repl_requests_;
+    obs::Tracer* tracer_ = nullptr;
+    std::uint32_t obs_track_ = UINT32_MAX;
 };
 
 } // namespace skv::offload

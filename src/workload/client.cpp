@@ -27,6 +27,9 @@ void BenchClient::issue_next() {
     node_.core->consume(costs_.jittered(rng_, costs_.reply_build));
     in_flight_ = true;
     issued_at_ = sim_.now();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->flow_issue(channel_->flow_id(), obs_track_);
+    }
     channel_->send(kv::resp::command(argv));
 }
 
@@ -44,6 +47,9 @@ void BenchClient::on_reply(std::string payload) {
         if (!in_flight_) continue; // stale reply after stop()
         in_flight_ = false;
         ++total_;
+        if (tracer_ != nullptr && tracer_->enabled()) {
+            tracer_->flow_complete(channel_->flow_id());
+        }
         const sim::Duration latency = sim_.now() - issued_at_;
         if (v.is_error()) ++errors_;
         if (recording_) {

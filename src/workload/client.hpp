@@ -6,6 +6,7 @@
 #include "cpu/cost_model.hpp"
 #include "kv/resp.hpp"
 #include "net/channel.hpp"
+#include "obs/tracer.hpp"
 #include "sim/histogram.hpp"
 #include "sim/simulation.hpp"
 #include "workload/generator.hpp"
@@ -32,6 +33,14 @@ public:
     /// Invoked after every recorded completion with the observed latency.
     using CompletionHook = std::function<void(sim::Duration)>;
     void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+
+    /// Wire the cluster tracer; `track_name` labels this client's row in
+    /// the chrome trace. Each issue/completion is stamped against the
+    /// channel's flow id so per-stage request latency can be correlated.
+    void set_tracer(obs::Tracer* tracer, const std::string& track_name) {
+        tracer_ = tracer;
+        obs_track_ = tracer != nullptr ? tracer->track(track_name) : UINT32_MAX;
+    }
 
     [[nodiscard]] std::uint64_t recorded_ops() const { return recorded_; }
     [[nodiscard]] std::uint64_t total_ops() const { return total_; }
@@ -61,6 +70,8 @@ private:
     std::uint64_t errors_ = 0;
     sim::LatencyHistogram hist_;
     CompletionHook hook_;
+    obs::Tracer* tracer_ = nullptr;
+    std::uint32_t obs_track_ = UINT32_MAX;
 };
 
 } // namespace skv::workload

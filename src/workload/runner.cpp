@@ -8,6 +8,18 @@
 
 namespace skv::workload {
 
+std::string StageBreakdown::summary() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "e2e=%.1fus = rdma_write=%.1f + master_apply=%.1f + "
+                  "reply=%.1f (sum=%.1f) | async: offload=%.1f fanout=%.1f "
+                  "slave_ack=%.1f",
+                  e2e_us, rdma_write_us, master_apply_us, reply_us,
+                  critical_sum_us, offload_request_us, nic_fanout_us,
+                  slave_ack_us);
+    return buf;
+}
+
 std::string RunResult::summary() const {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
@@ -52,10 +64,16 @@ RunResult run_workload(offload::Cluster& cluster, const RunOptions& opts) {
         bins.assign(n, 0);
     }
 
+    obs::Tracer& tracer = cluster.tracer();
+    if (opts.trace_stages) tracer.set_enabled(true);
+
     for (int i = 0; i < opts.clients; ++i) {
         auto client = std::make_shared<BenchClient>(
             sim, cluster.costs(), client_host,
             Generator(opts.spec, sim.fork_rng()), opts.client_turnaround);
+        if (opts.trace_stages) {
+            client->set_tracer(&tracer, "client/" + std::to_string(i));
+        }
         if (want_timeline) {
             client->set_completion_hook([&bins, &measure_start, &sim,
                                          bin = opts.timeline_bin](sim::Duration) {
@@ -75,6 +93,13 @@ RunResult run_workload(offload::Cluster& cluster, const RunOptions& opts) {
     measure_start = sim.now();
     const double busy_before =
         static_cast<double>(cluster.master().node().core->total_busy().ns());
+    // Snapshot the exact per-stage accumulators so the breakdown covers
+    // only the measurement window (matched request populations).
+    std::array<obs::StageAccum, static_cast<std::size_t>(obs::Stage::kCount)>
+        accum_before{};
+    for (std::size_t i = 0; i < accum_before.size(); ++i) {
+        accum_before[i] = tracer.stage_accum(static_cast<obs::Stage>(i));
+    }
     for (auto& c : clients) c->set_recording(true);
 
     // Scripted faults (Fig. 14).
@@ -116,6 +141,28 @@ RunResult run_workload(offload::Cluster& cluster, const RunOptions& opts) {
             res.timeline_kops.push_back(static_cast<double>(b) /
                                         opts.timeline_bin.sec() / 1e3);
         }
+    }
+    if (opts.trace_stages) {
+        const auto mean_delta_us = [&](obs::Stage st, std::uint64_t* n) {
+            const auto& after = tracer.stage_accum(st);
+            const auto& before = accum_before[static_cast<std::size_t>(st)];
+            const std::uint64_t count = after.count - before.count;
+            if (n != nullptr) *n = count;
+            if (count == 0) return 0.0;
+            return static_cast<double>(after.sum_ns - before.sum_ns) /
+                   static_cast<double>(count) / 1e3;
+        };
+        StageBreakdown& sb = res.stages;
+        sb.e2e_us = mean_delta_us(obs::Stage::kClientE2e, &sb.requests);
+        sb.rdma_write_us = mean_delta_us(obs::Stage::kRdmaWrite, nullptr);
+        sb.master_apply_us = mean_delta_us(obs::Stage::kMasterApply, nullptr);
+        sb.reply_us = mean_delta_us(obs::Stage::kReply, nullptr);
+        sb.critical_sum_us =
+            sb.rdma_write_us + sb.master_apply_us + sb.reply_us;
+        sb.offload_request_us = mean_delta_us(obs::Stage::kOffloadRequest, nullptr);
+        sb.nic_fanout_us = mean_delta_us(obs::Stage::kNicFanout, nullptr);
+        sb.slave_ack_us = mean_delta_us(obs::Stage::kSlaveAck, nullptr);
+        sb.valid = sb.requests > 0;
     }
     return res;
 }

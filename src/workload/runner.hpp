@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "sim/histogram.hpp"
 #include "sim/time.hpp"
 #include "skv/cluster.hpp"
@@ -35,6 +36,32 @@ struct RunOptions {
         bool recover; // false = crash, true = recover
     };
     std::vector<Fault> faults;
+    /// Enable the cluster tracer for the run and fill
+    /// RunResult::stage_breakdown from the measurement window. Off by
+    /// default: span collection costs host memory, not sim behavior.
+    bool trace_stages = false;
+};
+
+/// Mean per-stage latency over the measurement window, from the tracer's
+/// exact (sum, count) accumulators snapshotted at window start/end. The
+/// critical-path stages (rdma_write, master_apply, reply) tile the
+/// end-to-end latency: their sum matches e2e_us to well under 1%. The
+/// replication stages overlap the reply (SKV acks the client before the
+/// fan-out completes), so they are reported separately, not summed.
+struct StageBreakdown {
+    bool valid = false;
+    std::uint64_t requests = 0;  // fully-stamped flows in the window
+    double e2e_us = 0;           // mean client end-to-end
+    double rdma_write_us = 0;    // client issue -> master command entry
+    double master_apply_us = 0;  // command entry -> reply to transport
+    double reply_us = 0;         // reply to transport -> parsed at client
+    double critical_sum_us = 0;  // rdma_write + master_apply + reply
+    // Async replication legs (means over the window's samples).
+    double offload_request_us = 0;  // master propagate -> NIC parse
+    double nic_fanout_us = 0;       // NIC parse (or propagate) -> slave apply
+    double slave_ack_us = 0;        // master propagate -> covering ack heard
+
+    [[nodiscard]] std::string summary() const;
 };
 
 struct RunResult {
@@ -48,6 +75,8 @@ struct RunResult {
     double master_cpu_util = 0;
     /// ops/s per timeline bin (empty unless timeline_bin was set).
     std::vector<double> timeline_kops;
+    /// Per-stage latency breakdown (valid only when trace_stages was set).
+    StageBreakdown stages;
 
     [[nodiscard]] std::string summary() const;
 };

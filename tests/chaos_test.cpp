@@ -7,6 +7,7 @@
 
 #include "kv/resp.hpp"
 #include "net/fault.hpp"
+#include "obs/export.hpp"
 #include "skv/cluster.hpp"
 
 namespace skv::offload {
@@ -76,9 +77,11 @@ private:
 };
 
 /// Determinism-audit hook: when a chaos test fails, print the run's seed and
-/// the rolling trace digest (see sim::Trace::note). A failing scenario can
-/// then be bisected by rerunning the seed and diffing digests at
-/// intermediate sim times to find the first divergent event.
+/// the rolling trace digest (see sim::Trace::note), and dump the run's
+/// chrome trace to chaos_trace_<seed>.json (CI uploads it as a workflow
+/// artifact). A failing scenario can then be bisected by rerunning the seed
+/// and diffing digests at intermediate sim times to find the first
+/// divergent event — or simply read span-by-span in chrome://tracing.
 class DigestReporter {
 public:
     explicit DigestReporter(Cluster& c) : cluster_(c) {}
@@ -94,6 +97,13 @@ public:
                              cluster_.sim().events_executed()),
                          static_cast<unsigned long long>(
                              cluster_.sim().trace().total_noted()));
+            char path[64];
+            std::snprintf(path, sizeof(path), "chaos_trace_%016llx.json",
+                          static_cast<unsigned long long>(cluster_.sim().seed()));
+            if (obs::write_chrome_trace(cluster_.tracer(), path)) {
+                std::fprintf(stderr, "[chaos-audit] chrome trace written to %s\n",
+                             path);
+            }
         }
     }
 
@@ -112,6 +122,10 @@ std::unique_ptr<Cluster> make_skv(int slaves, std::uint64_t seed,
     cfg.offload = true;
     cfg.server_tmpl.min_slaves = min_slaves;
     auto c = std::make_unique<Cluster>(cfg);
+    // Chaos runs with span collection on: the determinism fingerprints
+    // below double as a standing check that tracing never perturbs the
+    // event stream, and a failing seed leaves a chrome trace behind.
+    c->tracer().set_enabled(true);
     c->start();
     return c;
 }

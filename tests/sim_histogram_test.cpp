@@ -126,6 +126,57 @@ TEST(Histogram, HugeValuesDoNotOverflow) {
     EXPECT_GT(h.quantile_ns(0.5), INT64_MAX / 4);
 }
 
+TEST(Histogram, SingleSampleQuantilesAreExact) {
+    LatencyHistogram h;
+    h.record_ns(12345);
+    // Every quantile of a one-sample distribution is that sample; the
+    // interpolated rank must clamp to [min, max] instead of reporting the
+    // bucket upper bound.
+    EXPECT_EQ(h.quantile_ns(0.0), 12345);
+    EXPECT_EQ(h.p50_ns(), 12345);
+    EXPECT_EQ(h.p99_ns(), 12345);
+    EXPECT_EQ(h.p999_ns(), 12345);
+    EXPECT_EQ(h.quantile_ns(1.0), 12345);
+}
+
+TEST(Histogram, SmallCountP99DoesNotOvershootMax) {
+    // With n samples, p99 must never exceed the largest recorded value —
+    // the old behavior returned the containing bucket's upper edge, which
+    // for n=10 identical samples overshot by the bucket width.
+    LatencyHistogram h;
+    for (int i = 0; i < 10; ++i) h.record_ns(1000);
+    EXPECT_EQ(h.p99_ns(), 1000);
+    EXPECT_EQ(h.p999_ns(), 1000);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndBounded) {
+    LatencyHistogram h;
+    for (int i = 1; i <= 100; ++i) h.record_ns(i * 100);
+    std::int64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const std::int64_t v = h.quantile_ns(q);
+        EXPECT_GE(v, prev);
+        EXPECT_GE(v, h.min_ns());
+        EXPECT_LE(v, h.max_ns());
+        prev = v;
+    }
+    // The p50 of 100..10000 uniform must land near 5000 (within the ~3%
+    // log-linear bucket resolution plus interpolation).
+    EXPECT_NEAR(static_cast<double>(h.p50_ns()), 5050.0, 200.0);
+    EXPECT_NEAR(static_cast<double>(h.p99_ns()), 9910.0, 350.0);
+}
+
+TEST(Histogram, MergedQuantilesStayBounded) {
+    LatencyHistogram a;
+    LatencyHistogram b;
+    for (int i = 0; i < 5; ++i) a.record_ns(1000);
+    for (int i = 0; i < 5; ++i) b.record_ns(9000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 10u);
+    EXPECT_LE(a.p99_ns(), 9000);
+    EXPECT_GE(a.quantile_ns(0.0), 1000);
+}
+
 TEST(Histogram, SummaryMentionsCount) {
     LatencyHistogram h;
     h.record(microseconds(10));

@@ -107,6 +107,25 @@ def main() -> int:
                r.returncode == 0,
                f"  exit={r.returncode}\n{r.stdout}")
 
+        # src/obs/export* is the single blessed stdout writer in library
+        # code; any other obs file writing to stdout is still a finding.
+        obs = Path(td) / "src" / "obs"
+        obs.mkdir(parents=True)
+        exporter = obs / "export.cpp"
+        exporter.write_text('#include <cstdio>\n'
+                            'void emit() { printf("JSON: {}\\n"); }\n')
+        other = obs / "metrics.cpp"
+        other.write_text('#include <cstdio>\n'
+                         'void leak() { printf("nope\\n"); }\n')
+        r = run(str(exporter))
+        expect("src/obs/export* is exempt from stdout-io",
+               r.returncode == 0 and not r.stdout.strip(),
+               f"  exit={r.returncode}\n{r.stdout}")
+        r = run(str(other))
+        expect("other src/obs files still trigger stdout-io",
+               r.returncode == 1 and "[stdout-io]" in r.stdout,
+               f"  exit={r.returncode}\n{r.stdout}")
+
         # compile_commands.json driving: only files under --src-root are
         # linted, and headers are swept in.
         outside = Path(td) / "bench.cpp"

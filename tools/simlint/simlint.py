@@ -105,6 +105,10 @@ RULES = {
 EXEMPT = {
     "raw-rng": (re.compile(r"(?:^|/)src/sim/rng\.(?:hpp|cpp)$"),),
     "wall-clock": (re.compile(r"(?:^|/)src/sim/time\.(?:hpp|cpp)$"),),
+    # The observability exporters are the single place library code may
+    # write to stdout (obs::print_stdout/print_line/print_bench_json);
+    # everything else routes its output through them.
+    "stdout-io": (re.compile(r"(?:^|/)src/obs/export[^/]*$"),),
 }
 
 
