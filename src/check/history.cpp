@@ -1,0 +1,75 @@
+#include "check/history.hpp"
+
+#include <cstdio>
+
+namespace skv::check {
+
+const char* to_string(OpType t) {
+    switch (t) {
+        case OpType::kRead: return "r";
+        case OpType::kWrite: return "w";
+    }
+    return "?";
+}
+
+const char* to_string(Outcome o) {
+    switch (o) {
+        case Outcome::kOk: return "ok";
+        case Outcome::kFail: return "fail";
+        case Outcome::kTimeout: return "timeout";
+    }
+    return "?";
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xFF);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string History::to_json() const {
+    std::string out = "{\"schema\":\"skv-history-v1\",\"ops\":[\n";
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        const Op& op = ops_[i];
+        out += "{\"client\":" + std::to_string(op.client);
+        out += ",\"seq\":" + std::to_string(op.seq);
+        out += ",\"type\":\"" + std::string(to_string(op.type)) + "\"";
+        out += ",\"key\":";
+        append_escaped(out, op.key);
+        out += ",\"value\":";
+        append_escaped(out, op.value);
+        out += ",\"found\":";
+        out += op.found ? "true" : "false";
+        out += ",\"outcome\":\"" + std::string(to_string(op.outcome)) + "\"";
+        out += ",\"invoke_ns\":" + std::to_string(op.invoke_ns);
+        out += ",\"complete_ns\":" + std::to_string(op.complete_ns);
+        out += '}';
+        if (i + 1 < ops_.size()) out += ',';
+        out += '\n';
+    }
+    out += "]}\n";
+    return out;
+}
+
+} // namespace skv::check

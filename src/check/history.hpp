@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skv::check {
+
+/// Operation kind in a recorded client history. The checker models the
+/// store as a map of independent registers (SET/GET per key), which is
+/// exactly the surface the chaos workload exercises.
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+/// How an operation ended, from the client's point of view:
+///
+///  * kOk      — a success reply arrived; the op definitely took effect
+///               (writes) / the returned value is real (reads).
+///  * kFail    — the op definitely did NOT take effect: every attempt was
+///               answered with an error that is known not to apply the
+///               write (e.g. READONLY from a replica). Reads never have
+///               effects, so a failed read is simply dropped.
+///  * kTimeout — unknown: the client gave up (per-op deadline, or the
+///               server parked the reply and the link died). A timed-out
+///               write MAY have been applied and must be treated as
+///               concurrent with everything after its invocation.
+enum class Outcome : std::uint8_t { kOk, kFail, kTimeout };
+
+const char* to_string(OpType t);
+const char* to_string(Outcome o);
+
+/// One completed client operation with sim-time invocation/completion
+/// stamps. `complete_ns` for kTimeout records when the client gave up —
+/// the op itself stays open-ended for linearizability purposes.
+struct Op {
+    std::uint64_t client = 0;
+    std::uint64_t seq = 0;
+    OpType type = OpType::kRead;
+    std::string key;
+    /// Write: the value written. Read: the value observed (meaningful only
+    /// when `found`).
+    std::string value;
+    /// Read: whether the key existed. Writes always set `found = true`.
+    bool found = true;
+    Outcome outcome = Outcome::kOk;
+    std::int64_t invoke_ns = 0;
+    std::int64_t complete_ns = 0;
+};
+
+/// An append-only per-run log of client operations. Clients record each
+/// op exactly once, after its final outcome (including retries) is known.
+/// The recorder is observation-only: it never schedules events or touches
+/// RNG streams, so enabling it cannot change a trace digest.
+class History {
+public:
+    void record(Op op) { ops_.push_back(std::move(op)); }
+
+    [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+    [[nodiscard]] std::size_t size() const { return ops_.size(); }
+    [[nodiscard]] bool empty() const { return ops_.empty(); }
+    void clear() { ops_.clear(); }
+
+    /// Machine-readable dump (schema "skv-history-v1", one op per line)
+    /// for the CI artifact uploaded when a checker gate fails.
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    std::vector<Op> ops_;
+};
+
+} // namespace skv::check

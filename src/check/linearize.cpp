@@ -1,0 +1,205 @@
+#include "check/linearize.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace skv::check {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+/// One op of a per-key sub-history, with the value interned to an id.
+/// Id 0 is reserved for "key absent" (the initial register state and the
+/// observation of a read miss).
+struct KOp {
+    OpType type = OpType::kRead;
+    std::uint32_t value_id = 0;
+    bool must = true; // kOk ops must linearize; open (timeout) writes may
+    std::int64_t invoke = 0;
+    std::int64_t complete = kInf;
+};
+
+/// Memoized Wing–Gong search over one key's sub-history.
+class KeySearch {
+public:
+    KeySearch(std::vector<KOp> ops, std::uint64_t budget)
+        : ops_(std::move(ops)), budget_(budget) {
+        for (const auto& op : ops_) must_total_ += op.must ? 1 : 0;
+        words_ = (ops_.size() + 63) / 64;
+    }
+
+    /// True iff a linearization of all must-ops exists.
+    bool run() {
+        std::vector<std::uint64_t> mask(words_, 0);
+        return dfs(mask, /*value=*/0, must_total_);
+    }
+
+    [[nodiscard]] bool exhausted() const { return exhausted_; }
+    [[nodiscard]] std::uint64_t explored() const { return explored_; }
+
+private:
+    bool linearized(const std::vector<std::uint64_t>& mask, std::size_t i) const {
+        return (mask[i / 64] >> (i % 64)) & 1U;
+    }
+
+    bool dfs(std::vector<std::uint64_t>& mask, std::uint32_t value,
+             std::size_t must_left) {
+        if (must_left == 0) return true;
+        if (++explored_ > budget_) {
+            exhausted_ = true;
+            return false;
+        }
+        // Memo on (linearized set, register value): two search paths that
+        // linearized the same set and left the register holding the same
+        // value have identical futures.
+        {
+            std::vector<std::uint64_t> key = mask;
+            key.push_back(value);
+            if (!visited_.insert(std::move(key)).second) return false;
+        }
+        // Frontier rule: op i may be linearized next iff no *other*
+        // unlinearized op completed strictly before i was invoked. The two
+        // smallest completion times among unlinearized ops give each op
+        // its bound in O(n).
+        std::size_t idx1 = ops_.size();
+        std::int64_t m1 = kInf;
+        std::int64_t m2 = kInf;
+        for (std::size_t i = 0; i < ops_.size(); ++i) {
+            if (linearized(mask, i)) continue;
+            const std::int64_t c = ops_[i].complete;
+            if (c < m1) {
+                m2 = m1;
+                m1 = c;
+                idx1 = i;
+            } else if (c < m2) {
+                m2 = c;
+            }
+        }
+        for (std::size_t i = 0; i < ops_.size(); ++i) {
+            if (linearized(mask, i)) continue;
+            const KOp& op = ops_[i];
+            const std::int64_t bound = i == idx1 ? m2 : m1;
+            if (bound < op.invoke) continue; // another op precedes it in real time
+            std::uint32_t next_value = value;
+            if (op.type == OpType::kRead) {
+                if (op.value_id != value) continue; // read would observe a stale value
+            } else {
+                next_value = op.value_id;
+            }
+            mask[i / 64] |= 1ULL << (i % 64);
+            const bool ok = dfs(mask, next_value, must_left - (op.must ? 1 : 0));
+            mask[i / 64] &= ~(1ULL << (i % 64));
+            if (ok || exhausted_) return ok;
+        }
+        return false;
+    }
+
+    std::vector<KOp> ops_;
+    std::uint64_t budget_;
+    std::size_t words_ = 0;
+    std::size_t must_total_ = 0;
+    std::uint64_t explored_ = 0;
+    bool exhausted_ = false;
+    std::set<std::vector<std::uint64_t>> visited_;
+};
+
+/// Fast path: when real-time order already totally orders the ops and
+/// nothing is open-ended, register semantics can be verified in one scan.
+bool totally_ordered(const std::vector<KOp>& ops) {
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+        if (ops[i].invoke < ops[i - 1].complete) return false;
+        if (!ops[i - 1].must) return false; // open op overlaps the suffix
+    }
+    return ops.empty() ? true : ops.back().must;
+}
+
+bool verify_sequential(const std::vector<KOp>& ops) {
+    std::uint32_t value = 0;
+    for (const auto& op : ops) {
+        if (op.type == OpType::kWrite) {
+            value = op.value_id;
+        } else if (op.value_id != value) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+CheckResult check_history(const History& h, const CheckOptions& opts) {
+    CheckResult res;
+
+    // Partition by key, interning observed/written values per key. Ordered
+    // map: the first violating key reported is deterministic.
+    struct KeyHistory {
+        std::vector<KOp> ops;
+        std::map<std::string, std::uint32_t> values;
+    };
+    std::map<std::string, KeyHistory> keys;
+    for (const Op& op : h.ops()) {
+        if (op.outcome == Outcome::kFail) continue; // definitely no effect
+        if (op.outcome == Outcome::kTimeout && op.type == OpType::kRead) {
+            continue; // an unanswered read constrains nothing
+        }
+        KeyHistory& kh = keys[op.key];
+        KOp k;
+        k.type = op.type;
+        k.must = op.outcome == Outcome::kOk;
+        k.invoke = op.invoke_ns;
+        k.complete = k.must ? op.complete_ns : kInf;
+        if (op.type == OpType::kRead && !op.found) {
+            k.value_id = 0;
+        } else {
+            const auto [it, inserted] = kh.values.try_emplace(
+                op.value, static_cast<std::uint32_t>(kh.values.size() + 1));
+            k.value_id = it->second;
+        }
+        kh.ops.push_back(k);
+    }
+
+    for (auto& [key, kh] : keys) {
+        if (kh.ops.empty()) continue;
+        ++res.keys_checked;
+        std::stable_sort(kh.ops.begin(), kh.ops.end(),
+                         [](const KOp& a, const KOp& b) {
+                             if (a.invoke != b.invoke) return a.invoke < b.invoke;
+                             return a.complete < b.complete;
+                         });
+        if (totally_ordered(kh.ops)) {
+            ++res.keys_fast_path;
+            if (!verify_sequential(kh.ops)) {
+                res.linearizable = false;
+                res.reason = "key '" + key + "': sequential history violates " +
+                             "register semantics (stale or phantom read)";
+                return res;
+            }
+            continue;
+        }
+        KeySearch search(kh.ops, opts.max_nodes_per_key);
+        const bool ok = search.run();
+        res.nodes_explored += search.explored();
+        if (search.exhausted()) {
+            res.budget_exhausted = true;
+            res.reason = "key '" + key + "': search budget exhausted after " +
+                         std::to_string(search.explored()) +
+                         " nodes; verdict indeterminate";
+            return res;
+        }
+        if (!ok) {
+            res.linearizable = false;
+            res.reason = "key '" + key + "' (" +
+                         std::to_string(kh.ops.size()) +
+                         " ops): no valid linearization order exists";
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace skv::check

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/history.hpp"
+
+namespace skv::check {
+
+/// Result of checking one history. When `linearizable` is false, `reason`
+/// names the first offending key and what could not be ordered. When the
+/// search budget runs out the verdict is indeterminate: `linearizable`
+/// stays true (no violation was *proven*) and `budget_exhausted` flags
+/// the gap — test gates treat that as a failure of the scenario's sizing,
+/// not of the system under test.
+struct CheckResult {
+    bool linearizable = true;
+    bool budget_exhausted = false;
+    std::string reason;
+    /// Search-effort accounting across all per-key sub-histories.
+    std::uint64_t nodes_explored = 0;
+    std::uint64_t keys_checked = 0;
+    /// How many keys the cheap total-order pass settled without search.
+    std::uint64_t keys_fast_path = 0;
+};
+
+struct CheckOptions {
+    /// DFS node budget per key; the per-key state space is 2^n in the
+    /// worst case, so runaway histories abort rather than spin.
+    std::uint64_t max_nodes_per_key = 4'000'000;
+};
+
+/// Wing–Gong-style linearizability check for a register-per-key store.
+///
+/// The history is first partitioned by key (SET/GET touch exactly one
+/// key, so a history is linearizable iff every per-key sub-history is).
+/// Each sub-history runs a fast pass — if real-time order already totally
+/// orders the ops, register semantics are verified directly in O(n) —
+/// and otherwise a memoized depth-first search over linearization
+/// prefixes (Wing & Gong 1993, with the Lowe-style (linearized-set,
+/// register-value) memo cache). Ops with Outcome::kTimeout are open-ended
+/// (completion = infinity): the search may linearize them at any point
+/// after invocation or never; kFail ops are dropped before the search.
+CheckResult check_history(const History& h, const CheckOptions& opts = {});
+
+} // namespace skv::check

@@ -51,4 +51,11 @@ void ReplBacklog::clear() {
     // replication history.
 }
 
+void ReplBacklog::reset(std::int64_t offset) {
+    SKV_CHECK(offset >= 0);
+    head_ = 0;
+    used_ = 0;
+    master_offset_ = offset;
+}
+
 } // namespace skv::kv

@@ -40,6 +40,12 @@ public:
 
     void clear();
 
+    /// Rebase the ring to `offset` with no retained bytes: a master
+    /// restarting cold from a snapshot resumes the stream at the offset
+    /// the snapshot was taken at, not at zero (a rewound offset would make
+    /// slaves treat every new frame as stale and skip it).
+    void reset(std::int64_t offset);
+
 private:
     std::vector<char> buf_;
     std::size_t head_ = 0; // next write position

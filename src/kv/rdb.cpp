@@ -311,7 +311,12 @@ LoadStatus load(std::string_view bytes, Database& db) {
     }
 
     std::size_t p = kMagic.size();
-    std::int64_t pending_expire = -1;
+    // Expiry is tracked with an explicit flag, not a sentinel value: an
+    // already-expired key carries a timestamp in the past (possibly <= 0
+    // relative to sim epoch), and a `>= 0` test would silently drop it,
+    // resurrecting the key as immortal after a restart recovery.
+    bool has_pending_expire = false;
+    std::int64_t pending_expire = 0;
     while (p < body.size()) {
         const auto op = static_cast<std::uint8_t>(body[p++]);
         if (op == kOpEof) {
@@ -322,6 +327,7 @@ LoadStatus load(std::string_view bytes, Database& db) {
                 db.clear();
                 return LoadStatus::kTruncated;
             }
+            has_pending_expire = true;
             continue;
         }
         std::string key;
@@ -336,9 +342,9 @@ LoadStatus load(std::string_view bytes, Database& db) {
             return LoadStatus::kCorrupt;
         }
         db.set(key, std::move(o));
-        if (pending_expire >= 0) {
+        if (has_pending_expire) {
             db.set_expire(key, pending_expire);
-            pending_expire = -1;
+            has_pending_expire = false;
         }
     }
     db.clear();

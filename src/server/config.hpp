@@ -60,6 +60,36 @@ struct ServerConfig {
     /// layer never reports the link broken).
     sim::Duration probe_silence_timeout{sim::seconds(3)};
 
+    /// --- node-failure robustness ------------------------------------------
+    /// Commit gating: when > 0, a master parks each reply until at least
+    /// min(wait_for_slaves, registered valid slaves) replicas have
+    /// acknowledged the write's stream offset; reads park until the offset
+    /// current at read time is similarly acknowledged, so un-acked writes
+    /// are never observable (no dirty reads that a failover could lose).
+    /// 0 (default) replies as soon as the command executed locally.
+    int wait_for_slaves = 0;
+    /// Parked replies give up after this long with -WAITTIMEOUT: the write
+    /// IS applied locally but not known replicated (maybe-applied from the
+    /// client's point of view — retry with the same WSEQ token).
+    sim::Duration wait_timeout{sim::milliseconds(500)};
+    /// Slaves send a progress report immediately after applying replicated
+    /// frames instead of only every ack_interval. Commit gating needs this
+    /// for sane write latency.
+    bool ack_on_apply = false;
+    /// Periodic RDB persistence: every persist_interval the server saves a
+    /// snapshot + its replication offset, which is all the state a *cold*
+    /// restart recovers from. Zero (default) disables persistence — a cold
+    /// restart then comes back empty at offset 0 (full resync).
+    sim::Duration persist_interval{};
+    /// Retained duplicate-suppression entries, one per writing client
+    /// (smallest client id evicted first beyond the cap).
+    std::size_t dup_table_max = 1024;
+    /// Redis default: replicas serve reads from their (possibly lagging)
+    /// copy. Set false for linearizable deployments: slaves answer reads
+    /// with -READONLY so retrying clients route every operation to the
+    /// current master.
+    bool serve_stale_reads = true;
+
     /// Commands whose service time (queue wait + execution on the core)
     /// meets this threshold are recorded in the SLOWLOG ring (Redis default:
     /// 10ms). Zero records everything; negative disables recording.

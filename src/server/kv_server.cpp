@@ -147,6 +147,7 @@ void KvServer::on_node_link_broken(const net::Channel* raw) {
             if (t.valid) ++available_slaves_;
         }
     }
+    if (removed_slave) flush_parked();
     if (master_link_ && master_link_.get() == raw) {
         master_link_->close();
         master_link_.reset();
@@ -280,12 +281,49 @@ void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv)
             });
         return;
     }
+    // Duplicate-suppression envelope (retrying clients): strip it before
+    // command lookup so costs and execution see the real command.
+    WriteTag tag{};
+    const bool tagged = strip_write_tag(argv, &tag);
     const kv::CommandSpec* spec = commands_table_.lookup(argv[0]);
     const sim::Duration cost = costs_.jittered(rng_, command_cost(argv, spec));
     self_.core->submit(cost, [this, conn, argv = std::move(argv), spec, t0,
-                              traced]() {
+                              traced, tagged, tag]() {
         ++commands_;
         std::string reply;
+        if (tagged) {
+            const auto it = dup_table_.find(tag.client);
+            if (it != dup_table_.end() && it->second.seq == tag.seq) {
+                // Already executed: never re-apply. Either replay the
+                // cached reply or, if the original is still parked on
+                // replica acks, adopt this connection as the waiter.
+                stats_.incr("dup_suppressed");
+                record_command_latency(argv, /*is_write=*/true, t0);
+                if (it->second.ready) {
+                    if (traced) tracer_->flow_server_done(conn->channel->flow_id());
+                    conn->channel->send(std::string(it->second.reply));
+                } else {
+                    attach_dup_waiter(tag, conn, traced);
+                }
+                return;
+            }
+            if (it != dup_table_.end() && it->second.seq > tag.seq) {
+                stats_.incr("dup_stale_seq");
+                if (traced) tracer_->flow_server_done(conn->channel->flow_id());
+                conn->channel->send(
+                    kv::resp::error("DUPSEQ write sequence already superseded"));
+                return;
+            }
+        }
+        if (spec != nullptr && !spec->is_write() && role_ == Role::kSlave &&
+            !cfg_.serve_stale_reads) {
+            stats_.incr("reads_rejected_stale");
+            record_command_latency(argv, /*is_write=*/false, t0);
+            if (traced) tracer_->flow_server_done(conn->channel->flow_id());
+            conn->channel->send(kv::resp::error(
+                "READONLY Reads from replicas are disabled."));
+            return;
+        }
         if (spec != nullptr && spec->is_write()) {
             std::string err;
             const char* reason = "writes_rejected_other";
@@ -301,7 +339,11 @@ void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv)
         const kv::ExecResult res =
             commands_table_.execute(db_, rng_, argv, reply);
         if (!res.repl_argv.empty() && role_ != Role::kSlave) {
-            propagate(res.repl_argv);
+            if (tagged) {
+                propagate(make_replicated_tagged(tag, reply, res.repl_argv));
+            } else {
+                propagate(res.repl_argv);
+            }
         }
         if (res.is_write) {
             c_writes_.incr();
@@ -309,9 +351,112 @@ void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv)
             c_reads_.incr();
         }
         record_command_latency(argv, res.is_write, t0);
-        if (traced) tracer_->flow_server_done(conn->channel->flow_id());
-        conn->channel->send(std::move(reply));
+        deliver_or_park(conn, std::move(reply), backlog_.master_offset(),
+                        res.is_write, tagged && res.is_write, tag, traced);
     });
+}
+
+// --- commit gating / duplicate suppression -----------------------------------
+
+int KvServer::commit_need() const {
+    if (cfg_.wait_for_slaves <= 0 || role_ != Role::kMaster) return 0;
+    int valid = 0;
+    for (const auto& s : slaves_) {
+        if (s.valid) ++valid;
+    }
+    return std::min(cfg_.wait_for_slaves, valid);
+}
+
+int KvServer::acked_replicas(std::int64_t offset) const {
+    int n = 0;
+    for (const auto& s : slaves_) {
+        if (s.valid && s.ack_offset >= offset) ++n;
+    }
+    return n;
+}
+
+void KvServer::dup_record(const WriteTag& tag, std::string reply, bool ready,
+                          std::int64_t offset) {
+    dup_table_[tag.client] = DupState{tag.seq, std::move(reply), ready, offset};
+    while (dup_table_.size() > cfg_.dup_table_max) {
+        dup_table_.erase(dup_table_.begin());
+    }
+}
+
+void KvServer::deliver_or_park(const ClientPtr& conn, std::string reply,
+                               std::int64_t offset, bool is_write, bool tagged,
+                               WriteTag tag, bool traced) {
+    const int need = commit_need();
+    if (need == 0 || acked_replicas(offset) >= need) {
+        if (tagged) dup_record(tag, reply, /*ready=*/true, offset);
+        if (traced && tracer_ != nullptr) {
+            tracer_->flow_server_done(conn->channel->flow_id());
+        }
+        conn->channel->send(std::move(reply));
+        return;
+    }
+    if (tagged) dup_record(tag, reply, /*ready=*/false, offset);
+    const std::uint64_t id = next_parked_id_++;
+    parked_.emplace(id, Parked{conn, std::move(reply), offset, is_write, tagged,
+                               tag, traced});
+    stats_.incr(is_write ? "writes_parked" : "reads_parked");
+    sim_.after(cfg_.wait_timeout, [this, id]() { on_wait_timeout(id); });
+}
+
+void KvServer::flush_parked() {
+    if (parked_.empty()) return;
+    const int need = commit_need();
+    for (auto it = parked_.begin(); it != parked_.end();) {
+        Parked& p = it->second;
+        if (need > 0 && acked_replicas(p.offset) < need) {
+            ++it;
+            continue;
+        }
+        if (p.tagged) dup_record(p.tag, p.reply, /*ready=*/true, p.offset);
+        if (const auto conn = p.conn.lock(); conn && conn->channel) {
+            if (p.traced && tracer_ != nullptr) {
+                tracer_->flow_server_done(conn->channel->flow_id());
+            }
+            conn->channel->send(std::move(p.reply));
+        }
+        it = parked_.erase(it);
+    }
+}
+
+void KvServer::on_wait_timeout(std::uint64_t id) {
+    if (crashed_) return;
+    const auto it = parked_.find(id);
+    if (it == parked_.end()) return; // already flushed
+    Parked p = std::move(it->second);
+    parked_.erase(it);
+    stats_.incr("wait_timeouts");
+    // The command DID execute locally; only replication progress is
+    // unknown. The client must treat this as maybe-applied and retry with
+    // the same token (the dup entry stays, still not ready).
+    if (const auto conn = p.conn.lock(); conn && conn->channel) {
+        if (p.traced && tracer_ != nullptr) {
+            tracer_->flow_server_done(conn->channel->flow_id());
+        }
+        conn->channel->send(kv::resp::error(
+            "WAITTIMEOUT write not acknowledged by enough replicas"));
+    }
+}
+
+void KvServer::attach_dup_waiter(const WriteTag& tag, const ClientPtr& conn,
+                                 bool traced) {
+    for (auto& [id, p] : parked_) {
+        if (p.tagged && p.tag.client == tag.client && p.tag.seq == tag.seq) {
+            p.conn = conn;
+            p.traced = traced;
+            return;
+        }
+    }
+    // The original park timed out; re-park this retry at the recorded
+    // commit offset (deliver_or_park re-checks ack progress first).
+    const auto it = dup_table_.find(tag.client);
+    SKV_DCHECK(it != dup_table_.end());
+    deliver_or_park(conn, std::string(it->second.reply), it->second.offset,
+                    /*is_write=*/true, /*tagged=*/true, tag, traced);
 }
 
 void KvServer::record_command_latency(const std::vector<std::string>& argv,
@@ -596,6 +741,7 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
                 if (tracer_ != nullptr && tracer_->enabled()) {
                     tracer_->repl_ack(msg.field);
                 }
+                flush_parked();
             }
             break;
         }
@@ -606,6 +752,9 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
                 s.valid = msg.body.find(s.name) == std::string::npos;
             }
             stats_.incr("fd_updates");
+            // The commit quorum shrinks with the valid set; parked replies
+            // may be releasable (or permanently below need) now.
+            flush_parked();
             break;
         }
         case NodeMsg::Type::kReplData: {
@@ -697,6 +846,9 @@ void KvServer::apply_repl_stream(std::int64_t start_offset,
     }
     apply_contiguous(start_offset, bytes);
     drain_pending_stream();
+    // Low-latency progress report so a commit-gating master can release
+    // parked replies after one round trip instead of one ack_interval.
+    if (cfg_.ack_on_apply && role_ == Role::kSlave) send_ack();
 }
 
 void KvServer::drain_pending_stream() {
@@ -736,12 +888,29 @@ void KvServer::apply_contiguous(std::int64_t start_offset,
 }
 
 void KvServer::apply_one(std::vector<std::string> argv) {
-    self_.core->submit(costs_.jittered(rng_, costs_.slave_apply),
-                       [this, argv = std::move(argv)]() {
-                           std::string reply;
-                           commands_table_.execute(db_, rng_, argv, reply);
-                           c_repl_applied_.incr();
-                       });
+    self_.core->submit(
+        costs_.jittered(rng_, costs_.slave_apply),
+        [this, argv = std::move(argv)]() mutable {
+            // Tagged stream commands carry the master's dup-suppression
+            // entry: record it so this node, if promoted, suppresses client
+            // retries of writes it already applied via fan-out — and never
+            // applies the same (client, seq) twice even if a resync range
+            // overlaps frames already seen.
+            WriteTag tag{};
+            std::string cached;
+            if (strip_replicated_tag(argv, &tag, &cached)) {
+                const auto it = dup_table_.find(tag.client);
+                if (it != dup_table_.end() && it->second.seq >= tag.seq) {
+                    stats_.incr("dup_stream_skipped");
+                    return;
+                }
+                dup_record(tag, std::move(cached), /*ready=*/true,
+                           applied_offset_);
+            }
+            std::string reply;
+            commands_table_.execute(db_, rng_, argv, reply);
+            c_repl_applied_.incr();
+        });
 }
 
 void KvServer::load_snapshot(std::int64_t offset, const std::string& rdb_bytes) {
@@ -755,6 +924,7 @@ void KvServer::load_snapshot(std::int64_t offset, const std::string& rdb_bytes) 
     repl_parser_.reset();
     stats_.incr("rdb_loaded");
     drain_pending_stream();
+    if (cfg_.ack_on_apply && role_ == Role::kSlave) send_ack();
 }
 
 void KvServer::send_ack() {
@@ -911,6 +1081,14 @@ void KvServer::cron() {
             std::max<std::int64_t>(1, cfg_.ack_interval.ns() / cfg_.cron_interval.ns());
         if (cron_ticks_ % acks_every == 0) send_ack();
 
+        // Periodic RDB persistence: the snapshot + offset pair is the only
+        // state a cold restart recovers from.
+        if (cfg_.persist_interval.ns() > 0) {
+            const std::int64_t persists_every = std::max<std::int64_t>(
+                1, cfg_.persist_interval.ns() / cfg_.cron_interval.ns());
+            if (cron_ticks_ % persists_every == 0) persist_snapshot();
+        }
+
         // SKV self-healing: a node Nic-KV has silently stopped probing (a
         // one-directional partition gives this side no broken-link signal)
         // or a slave whose initial sync never arrived re-registers, which
@@ -961,26 +1139,66 @@ void KvServer::crash() {
     nic_attached_ = false;
     pending_stream_.clear();
     pending_stream_bytes_ = 0;
+    // Parked replies die with their connections; their wait-timeout events
+    // find nothing and no-op. The dup table survives for a *warm* restart
+    // (same process memory); a cold recover() wipes it.
+    parked_.clear();
     stats_.incr("crashes");
 }
 
-void KvServer::recover() {
+void KvServer::recover(RecoveryMode mode) {
     SKV_CHECK(crashed_);
     crashed_ = false;
     self_.core->resume();
     nets_.fabric->restore(self_.ep);
     stats_.incr("recoveries");
+    if (mode == RecoveryMode::kCold) {
+        // Machine restart: process memory is gone. Reload the last
+        // persisted snapshot (possibly none) and resume the stream at its
+        // offset — NOT at the pre-crash offset, which only existed in RAM.
+        stats_.incr("cold_recoveries");
+        db_.clear();
+        dup_table_.clear();
+        repl_parser_.reset();
+        applied_offset_ = 0;
+        if (!persisted_rdb_.empty()) {
+            const auto st = kv::rdb::load(persisted_rdb_, db_);
+            SKV_CHECK(st == kv::rdb::LoadStatus::kOk);
+            self_.core->consume(costs_.copy_cost(2 * persisted_rdb_.size()));
+            applied_offset_ = persisted_offset_;
+        }
+        // A master's stream resumes where the snapshot was taken; rewinding
+        // to zero would make every already-synced slave treat new frames as
+        // stale duplicates of offsets it already applied.
+        backlog_.reset(role_ == Role::kSlave ? 0 : persisted_offset_);
+    }
     // Reconnect: channels died with the process (ring cursors on the other
     // side advanced past writes this host never saw, so the old channels
     // are unusable). An SKV slave re-registers with Nic-KV, which notices
     // its stale offset and arranges a resync; an SKV master re-attaches,
     // which tells the failure detector it is back.
-    if (skv_nic_ep_ == net::kInvalidEndpoint) return;
-    if (role_ == Role::kSlave) {
-        slaveof_skv(skv_nic_ep_, skv_nic_port_);
-    } else if (cfg_.offload_replication) {
-        attach_nic(skv_nic_ep_, skv_nic_port_);
+    if (skv_nic_ep_ != net::kInvalidEndpoint) {
+        if (role_ == Role::kSlave) {
+            slaveof_skv(skv_nic_ep_, skv_nic_port_);
+        } else if (cfg_.offload_replication) {
+            attach_nic(skv_nic_ep_, skv_nic_port_);
+        }
+        return;
     }
+    if (role_ == Role::kSlave && baseline_master_ep_ != net::kInvalidEndpoint) {
+        slaveof_baseline(baseline_master_ep_, baseline_master_port_);
+    }
+}
+
+void KvServer::persist_snapshot() {
+    persisted_rdb_ = kv::rdb::save(db_);
+    persisted_offset_ =
+        role_ == Role::kSlave ? applied_offset_ : backlog_.master_offset();
+    // fork() copy-on-write plus serialization, same cost shape as the
+    // full-sync path.
+    self_.core->consume(sim::microseconds(400) +
+                        costs_.copy_cost(2 * persisted_rdb_.size()));
+    stats_.incr("snapshots_persisted");
 }
 
 std::string KvServer::info_sections() const {

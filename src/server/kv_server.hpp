@@ -62,11 +62,23 @@ public:
     // --- fault injection ------------------------------------------------------
     /// Crash the host process: the core halts and the endpoint is severed.
     void crash();
-    /// Restart after a crash. Data survives (it is "in memory" of the
-    /// simulated process object), but the replication stream has moved on;
-    /// the node resynchronizes via the NIC-driven partial resync.
-    void recover();
+    /// How much state a restart recovers. kWarm models a process pause
+    /// (data survives in the simulated process object); kCold models a
+    /// real machine restart — everything volatile is gone and the node
+    /// reloads the last persisted RDB snapshot (see persist_interval),
+    /// then catches up via backlog partial resync or full sync.
+    enum class RecoveryMode : std::uint8_t { kWarm, kCold };
+    /// Restart after a crash. The replication stream has moved on while
+    /// the node was down; it resynchronizes via the NIC-driven resync.
+    void recover(RecoveryMode mode = RecoveryMode::kWarm);
     [[nodiscard]] bool crashed() const { return crashed_; }
+    /// Offset of the last persisted snapshot (what a cold restart resumes
+    /// from); 0 when nothing was persisted yet.
+    [[nodiscard]] std::int64_t persisted_offset() const { return persisted_offset_; }
+    /// Parked replies currently waiting for replica acknowledgements.
+    [[nodiscard]] std::size_t parked_replies() const { return parked_.size(); }
+    /// Retained duplicate-suppression entries (one per writing client).
+    [[nodiscard]] std::size_t dup_entries() const { return dup_table_.size(); }
 
     // --- introspection -----------------------------------------------------------
     [[nodiscard]] kv::Database& db() { return db_; }
@@ -149,6 +161,30 @@ private:
     /// `reason` receives a stats-counter key naming why the write was gated.
     [[nodiscard]] bool write_allowed(std::string* err, const char** reason) const;
 
+    // -- commit gating / duplicate suppression
+    /// Deliver `reply` now, or — when commit gating is on and `offset` is
+    /// not yet acknowledged by enough replicas — park it. Tagged writes
+    /// also record their duplicate-suppression entry (ready once sent).
+    void deliver_or_park(const ClientPtr& conn, std::string reply,
+                         std::int64_t offset, bool is_write, bool tagged,
+                         WriteTag tag, bool traced);
+    /// Replicas needed to consider `offset` committed right now.
+    [[nodiscard]] int commit_need() const;
+    [[nodiscard]] int acked_replicas(std::int64_t offset) const;
+    /// Re-deliver every parked reply whose offset became acknowledged
+    /// (called whenever ack progress or the slave set changes).
+    void flush_parked();
+    void on_wait_timeout(std::uint64_t id);
+    /// A retry arrived for a write that is applied but still parked:
+    /// point the waiting reply at the retry's connection.
+    void attach_dup_waiter(const WriteTag& tag, const ClientPtr& conn,
+                           bool traced);
+    void dup_record(const WriteTag& tag, std::string reply, bool ready,
+                    std::int64_t offset);
+
+    // -- persistence
+    void persist_snapshot();
+
     // -- replication (master side)
     void propagate(const std::vector<std::string>& repl_argv);
     void handle_node_msg(const ClientPtr& conn, const NodeMsg& msg);
@@ -218,6 +254,36 @@ private:
     std::deque<std::pair<std::int64_t, std::string>> pending_stream_;
     std::size_t pending_stream_bytes_ = 0;
     static constexpr std::size_t kPendingStreamCap = 64 * 1024 * 1024;
+
+    // Duplicate suppression: last write sequence executed per client, with
+    // the cached reply. `ready` flips once the reply was actually released
+    // to a client (commit gating can hold it back); `offset` is the stream
+    // offset a retry must wait on while not ready.
+    struct DupState {
+        std::uint64_t seq = 0;
+        std::string reply;
+        bool ready = true;
+        std::int64_t offset = 0;
+    };
+    std::map<std::uint64_t, DupState> dup_table_;
+
+    // Replies parked by commit gating, keyed by a monotonic id so flush
+    // order is deterministic.
+    struct Parked {
+        std::weak_ptr<ClientConn> conn;
+        std::string reply;
+        std::int64_t offset = 0;
+        bool is_write = false;
+        bool tagged = false;
+        WriteTag tag{};
+        bool traced = false;
+    };
+    std::map<std::uint64_t, Parked> parked_;
+    std::uint64_t next_parked_id_ = 0;
+
+    // Last persisted snapshot (the "disk" a cold restart recovers from).
+    std::string persisted_rdb_;
+    std::int64_t persisted_offset_ = 0;
 
     std::uint64_t commands_ = 0;
     std::int64_t cron_ticks_ = 0;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace skv::server {
 
@@ -60,5 +61,34 @@ struct NodeMsg {
     [[nodiscard]] std::string encode() const;
     static std::optional<NodeMsg> decode(std::string_view wire);
 };
+
+/// Duplicate-suppression token for client write retries. A retrying client
+/// prefixes each write with `WSEQ <client> <seq>`; a server that already
+/// executed (client, seq) replays the cached reply instead of re-applying
+/// the command, which is what makes write retries across a master crash /
+/// failover exactly-once. The token is replicated to slaves inside the
+/// stream (`WSEQR <client> <seq> <reply>` prefix), so a promoted stand-in
+/// suppresses retries of writes it already received via fan-out.
+struct WriteTag {
+    std::uint64_t client = 0;
+    std::uint64_t seq = 0;
+};
+
+/// If `argv` carries the client-side `WSEQ` envelope, strip it in place
+/// (argv becomes the real command) and fill `tag`. Returns false — with
+/// argv untouched — for untagged or malformed commands.
+bool strip_write_tag(std::vector<std::string>& argv, WriteTag* tag);
+
+/// Build the replicated form of a tagged write for the repl stream:
+/// `WSEQR <client> <seq> <reply>` + the command's repl argv.
+[[nodiscard]] std::vector<std::string> make_replicated_tagged(
+    const WriteTag& tag, const std::string& reply,
+    const std::vector<std::string>& repl_argv);
+
+/// Slave side of make_replicated_tagged: strip the `WSEQR` envelope in
+/// place, filling `tag` and the master's cached `reply`. Returns false —
+/// argv untouched — for untagged stream commands.
+bool strip_replicated_tag(std::vector<std::string>& argv, WriteTag* tag,
+                          std::string* reply);
 
 } // namespace skv::server

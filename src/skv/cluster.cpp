@@ -106,6 +106,80 @@ void Cluster::connect_client(net::NodeRef from,
     }
 }
 
+// --- node crash/restart fault model ------------------------------------------
+
+void Cluster::crash_node(int idx) {
+    SKV_CHECK(idx >= -1 && idx < slave_count());
+    (idx < 0 ? *master_ : *slaves_[static_cast<std::size_t>(idx)]).crash();
+}
+
+void Cluster::restart_node(int idx, server::KvServer::RecoveryMode mode) {
+    SKV_CHECK(idx >= -1 && idx < slave_count());
+    (idx < 0 ? *master_ : *slaves_[static_cast<std::size_t>(idx)]).recover(mode);
+}
+
+bool Cluster::node_crashed(int idx) const {
+    SKV_CHECK(idx >= -1 && idx < static_cast<int>(slaves_.size()));
+    return idx < 0 ? master_->crashed()
+                   : slaves_[static_cast<std::size_t>(idx)]->crashed();
+}
+
+void Cluster::crash_nic() {
+    SKV_CHECK(nickv_ != nullptr);
+    nickv_->crash();
+    fabric_.sever(nickv_->endpoint());
+}
+
+void Cluster::restart_nic() {
+    SKV_CHECK(nickv_ != nullptr);
+    fabric_.restore(nickv_->endpoint());
+    nickv_->recover();
+}
+
+int Cluster::schedule_crash_storm(const CrashStormSpec& spec) {
+    SKV_CHECK(started_);
+    SKV_CHECK(spec.max_gap.ns() >= spec.min_gap.ns());
+    sim::Rng rng = sim_.fork_rng();
+    sim::SimTime t = sim_.now();
+    // Per-node time until which it is scheduled to be down (index 0 = the
+    // master, 1.. = slaves), so picks never stack on a crashed node.
+    std::vector<sim::SimTime> down_until(slaves_.size() + 1,
+                                         sim::SimTime::zero());
+    const int candidates =
+        static_cast<int>(slaves_.size()) + (spec.include_master ? 1 : 0);
+    SKV_CHECK(candidates > 0);
+    int scheduled = 0;
+    for (int i = 0; i < spec.crashes; ++i) {
+        const std::int64_t span = spec.max_gap.ns() - spec.min_gap.ns();
+        t = t + spec.min_gap +
+            sim::Duration(span > 0 ? rng.next_range(0, span) : 0);
+        // Victim index in cluster convention (-1 = master). Linear-probe to
+        // the next free node when the pick is still down.
+        int pick = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(candidates)));
+        int victim = 1 + slave_count(); // sentinel: none free
+        for (int probe = 0; probe < candidates; ++probe) {
+            const int cand = (pick + probe) % candidates;
+            const int node = spec.include_master ? cand - 1 : cand;
+            if (down_until[static_cast<std::size_t>(node + 1)] < t) {
+                victim = node;
+                break;
+            }
+        }
+        if (victim > slave_count()) continue; // everyone is down; skip
+        down_until[static_cast<std::size_t>(victim + 1)] = t + spec.downtime;
+        const auto mode = spec.mode;
+        sim_.at(t, [this, victim]() {
+            if (!node_crashed(victim)) crash_node(victim);
+        });
+        sim_.at(t + spec.downtime, [this, victim, mode]() {
+            if (node_crashed(victim)) restart_node(victim, mode);
+        });
+        ++scheduled;
+    }
+    return scheduled;
+}
+
 bool Cluster::converged() const {
     const std::int64_t target = master_->master_offset();
     for (const auto& s : slaves_) {

@@ -77,6 +77,40 @@ public:
     /// True once every slave has applied the full master stream.
     [[nodiscard]] bool converged() const;
 
+    // --- node crash/restart fault model ------------------------------------
+    /// Crash a process instance by cluster node index: -1 = master,
+    /// 0..n_slaves-1 = slaves. Volatile state, in-flight events and channel
+    /// endpoints die with it (KvServer::crash()).
+    void crash_node(int idx);
+    /// Restart a crashed node. kWarm keeps process memory; kCold reloads
+    /// the last persisted snapshot (server_tmpl.persist_interval) and
+    /// rejoins via backlog partial resync or full sync.
+    void restart_node(int idx, server::KvServer::RecoveryMode mode =
+                                   server::KvServer::RecoveryMode::kWarm);
+    [[nodiscard]] bool node_crashed(int idx) const;
+    /// Crash/restart the Nic-KV process on the SmartNIC (SKV mode only):
+    /// the node table and fan-out cursor are volatile, so peers must
+    /// re-register after the restart.
+    void crash_nic();
+    void restart_nic();
+
+    /// A seeded storm of crash/restart events, scheduled from `sim.now()`.
+    /// Gaps and victims come from a forked RNG stream so the storm is a
+    /// deterministic function of the cluster seed.
+    struct CrashStormSpec {
+        int crashes = 6;
+        sim::Duration min_gap{sim::milliseconds(250)};
+        sim::Duration max_gap{sim::milliseconds(900)};
+        /// How long each victim stays down before restarting.
+        sim::Duration downtime{sim::milliseconds(400)};
+        bool include_master = false;
+        server::KvServer::RecoveryMode mode =
+            server::KvServer::RecoveryMode::kWarm;
+    };
+    /// Returns the number of crash/restart pairs actually scheduled (a
+    /// pick landing on a still-down node is skipped, never stacked).
+    int schedule_crash_storm(const CrashStormSpec& spec);
+
 private:
     ClusterConfig cfg_;
     sim::Simulation sim_;

@@ -24,9 +24,37 @@ void NicKv::start() {
     nic_.steer(cfg_.port, nic::SteerTarget::kNicCores);
     cm_.listen(nic_.node(0), cfg_.port,
                [this](net::ChannelPtr ch) {
-                   if (ch) on_accept(std::move(ch));
+                   if (ch && !crashed_) on_accept(std::move(ch));
                });
-    sim_.after(cfg_.probe_interval, [this]() { probe_cycle(); });
+    const std::uint64_t epoch = ++probe_epoch_;
+    sim_.after(cfg_.probe_interval, [this, epoch]() { probe_cycle(epoch); });
+}
+
+void NicKv::crash() {
+    SKV_CHECK(started_ && !crashed_);
+    crashed_ = true;
+    for (int i = 0; i < nic_.core_count(); ++i) nic_.core(i).halt();
+    // The service's state lives entirely in on-board DRAM: node table,
+    // fan-out cursor, pending registrations — all gone with the process.
+    nic_.release_memory(cfg_.node_entry_bytes * nodes_.size());
+    nodes_.clear();
+    pending_.clear();
+    master_idx_ = -1;
+    promoted_idx_ = -1;
+    fanout_offset_ = 0;
+    stats_.incr("crashes");
+}
+
+void NicKv::recover() {
+    SKV_CHECK(crashed_);
+    crashed_ = false;
+    for (int i = 0; i < nic_.core_count(); ++i) nic_.core(i).resume();
+    stats_.incr("recoveries");
+    // Fresh probe chain; the pre-crash chain's scheduled events carry a
+    // stale epoch and are ignored. Registration is peer-driven: the master
+    // re-attaches and slaves re-register after probe_silence_timeout.
+    const std::uint64_t epoch = ++probe_epoch_;
+    sim_.after(cfg_.probe_interval, [this, epoch]() { probe_cycle(epoch); });
 }
 
 void NicKv::on_accept(net::ChannelPtr ch) {
@@ -39,6 +67,7 @@ void NicKv::on_accept(net::ChannelPtr ch) {
     }
     auto raw = ch.get();
     ch->set_on_message([this, raw](std::string payload) {
+        if (crashed_) return;
         // Recover the shared_ptr from the node list (or transiently wrap).
         sim::NodeScope owner_node(endpoint());
         const auto msg = NodeMsg::decode(payload);
@@ -315,7 +344,8 @@ void NicKv::handle_probe_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {
     }
 }
 
-void NicKv::probe_cycle() {
+void NicKv::probe_cycle(std::uint64_t epoch) {
+    if (crashed_ || epoch != probe_epoch_) return;
     sim::NodeScope owner(endpoint());
     ++probe_round_;
     for (auto& e : nodes_) {
@@ -330,10 +360,11 @@ void NicKv::probe_cycle() {
     }
     // Give this round's replies `waiting_time` to come home.
     sim_.after(cfg_.waiting_time, [this]() { check_timeouts(); });
-    sim_.after(cfg_.probe_interval, [this]() { probe_cycle(); });
+    sim_.after(cfg_.probe_interval, [this, epoch]() { probe_cycle(epoch); });
 }
 
 void NicKv::check_timeouts() {
+    if (crashed_) return;
     bool changed = false;
     const std::int64_t now = sim_.now().ns();
     for (auto& e : nodes_) {
@@ -349,6 +380,7 @@ void NicKv::check_timeouts() {
 }
 
 void NicKv::on_link_broken(const net::Channel* raw) {
+    if (crashed_) return;
     // The reliable layer exhausted its retries: treat the node like a probe
     // timeout would, without waiting for one (gray links fail faster than
     // silent crashes).

@@ -66,6 +66,19 @@ public:
     /// Listen on the SmartNIC endpoint and start the probe timer.
     void start();
 
+    // --- fault injection ------------------------------------------------------
+    /// Crash the Nic-KV process on the SmartNIC: the ARM cores halt and all
+    /// volatile service state — node table, fan-out cursor, pending
+    /// registrations, on-board memory reservations — is lost. The caller
+    /// (Cluster) severs/restores the NIC's fabric endpoint, which kills the
+    /// channel endpoints. Peers re-register via probe silence.
+    void crash();
+    /// Restart the service cold (Nic-KV keeps no persistent state): an
+    /// empty node table and a fresh probe cycle. The master's and slaves'
+    /// probe-silence timers drive re-registration.
+    void recover();
+    [[nodiscard]] bool crashed() const { return crashed_; }
+
     // --- introspection --------------------------------------------------------
     [[nodiscard]] const std::vector<NodeEntry>& nodes() const { return nodes_; }
     [[nodiscard]] std::size_t slave_count() const;
@@ -94,7 +107,7 @@ private:
     void fan_out(const server::NodeMsg& msg);
     void handle_probe_ack(const net::ChannelPtr& ch, const server::NodeMsg& msg);
 
-    void probe_cycle();
+    void probe_cycle(std::uint64_t epoch);
     void check_timeouts();
     /// Shared failover/publish reaction after nodes were marked invalid by
     /// the timeout scan or a broken reliable link.
@@ -119,7 +132,11 @@ private:
     int promoted_idx_ = -1; // slave elevated while the master is down
     std::int64_t fanout_offset_ = 0;
     std::uint64_t probe_round_ = 0;
+    /// Bumped on every (re)start of the probe chain so events scheduled by
+    /// a pre-crash chain are ignored after recovery.
+    std::uint64_t probe_epoch_ = 0;
     bool started_ = false;
+    bool crashed_ = false;
 
     obs::Registry stats_;
     // Fan-out hot-path counters, pre-resolved in the constructor.

@@ -1,0 +1,541 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/linearize.hpp"
+#include "kv/resp.hpp"
+#include "net/fault.hpp"
+#include "skv/cluster.hpp"
+#include "workload/retry_client.hpp"
+
+namespace skv::offload {
+namespace {
+
+/// Crash-chaos cluster: SKV topology with a fast failure detector (so
+/// failover completes well inside client op deadlines), immediate apply
+/// acks, commit gating on one replica, and linearizable read routing
+/// (replicas refuse reads, so retrying clients always find the master).
+struct CrashClusterOpts {
+    int n_slaves = 2;
+    int wait_for_slaves = 1;
+    sim::Duration persist_interval{};
+    bool serve_stale_reads = false;
+    sim::Duration waiting_time{sim::milliseconds(450)};
+};
+
+std::unique_ptr<Cluster> make_crash_cluster(std::uint64_t seed,
+                                            const CrashClusterOpts& o = {}) {
+    ClusterConfig cfg;
+    cfg.seed = seed;
+    cfg.n_slaves = o.n_slaves;
+    cfg.offload = true;
+    cfg.nic_cfg.probe_interval = sim::milliseconds(200);
+    cfg.nic_cfg.waiting_time = o.waiting_time;
+    cfg.server_tmpl.ack_interval = sim::milliseconds(20);
+    cfg.server_tmpl.ack_on_apply = true;
+    cfg.server_tmpl.wait_for_slaves = o.wait_for_slaves;
+    cfg.server_tmpl.wait_timeout = sim::milliseconds(150);
+    cfg.server_tmpl.serve_stale_reads = o.serve_stale_reads;
+    cfg.server_tmpl.persist_interval = o.persist_interval;
+    cfg.server_tmpl.probe_silence_timeout = sim::seconds(1);
+    auto c = std::make_unique<Cluster>(cfg);
+    c->tracer().set_enabled(true);
+    c->start();
+    return c;
+}
+
+/// A fleet of retrying clients sharing one recorded history.
+struct Fleet {
+    check::History history;
+    std::vector<std::shared_ptr<workload::RetryClient>> clients;
+    std::uint64_t ops_issued = 0;
+
+    /// `turnaround` paces the clients so the workload genuinely overlaps
+    /// the injected faults instead of finishing before the first crash.
+    void spawn(Cluster& c, int n, std::uint64_t ops_each, double set_ratio,
+               sim::Duration turnaround = sim::milliseconds(25)) {
+        std::vector<workload::RetryClient::Target> targets;
+        targets.push_back({c.master().node().ep, c.master().config().port});
+        for (int i = 0; i < c.slave_count(); ++i) {
+            targets.push_back(
+                {c.slave(i).node().ep, c.slave(i).config().port});
+        }
+        auto dial = [&c](net::NodeRef from, workload::RetryClient::Target t,
+                         std::function<void(net::ChannelPtr)> cb) {
+            c.cm().connect(from, t.ep, t.port, std::move(cb));
+        };
+        workload::RetryPolicy pol;
+        pol.attempt_timeout = sim::milliseconds(120);
+        pol.op_deadline = sim::seconds(4);
+        pol.turnaround = turnaround;
+        for (int i = 0; i < n; ++i) {
+            workload::WorkloadSpec spec;
+            spec.set_ratio = set_ratio;
+            spec.key_count = 8; // small keyspace: real read/write contention
+            spec.value_bytes = 16;
+            spec.key_prefix = "ck:";
+            workload::Generator gen(spec, c.sim().fork_rng());
+            auto node = c.add_client_host("rc" + std::to_string(i));
+            clients.push_back(std::make_shared<workload::RetryClient>(
+                c.sim(), c.costs(), node, 100 + static_cast<std::uint64_t>(i),
+                std::move(gen), pol, targets, dial, &history));
+        }
+        for (auto& cl : clients) cl->start(ops_each);
+        ops_issued += static_cast<std::uint64_t>(n) * ops_each;
+    }
+
+    [[nodiscard]] bool all_idle() const {
+        for (const auto& cl : clients) {
+            if (!cl->idle()) return false;
+        }
+        return true;
+    }
+
+    /// Run the sim until every client finished its ops. Returning false
+    /// means a client hung — itself an acceptance failure.
+    [[nodiscard]] bool drain(Cluster& c, sim::Duration cap) {
+        const auto stop = c.sim().now() + cap;
+        while (c.sim().now() < stop) {
+            if (all_idle()) return true;
+            c.sim().run_until(c.sim().now() + sim::milliseconds(20));
+        }
+        return all_idle();
+    }
+
+    [[nodiscard]] std::uint64_t ok() const {
+        std::uint64_t n = 0;
+        for (const auto& cl : clients) n += cl->ops_ok();
+        return n;
+    }
+
+    /// Nonzero retries prove the workload was live while faults were in.
+    [[nodiscard]] std::uint64_t total_retries() const {
+        std::uint64_t n = 0;
+        for (const auto& cl : clients) n += cl->retries();
+        return n;
+    }
+};
+
+/// The linearizability gate. On violation the raw history is dumped to
+/// chaos_history_<seed>.json (CI uploads it together with the chrome
+/// trace) so the offending schedule can be replayed offline.
+void gate_linearizable(Cluster& c, const check::History& hist,
+                       const std::string& tag) {
+    const auto res = check::check_history(hist);
+    EXPECT_FALSE(res.budget_exhausted) << tag << ": checker budget exhausted";
+    if (!res.linearizable) {
+        char path[64];
+        std::snprintf(path, sizeof(path), "chaos_history_%016llx.json",
+                      static_cast<unsigned long long>(c.sim().seed()));
+        if (std::FILE* f = std::fopen(path, "wb")) {
+            const std::string json = hist.to_json();
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::fprintf(
+                stderr,
+                "[chaos-audit] non-linearizable history written to %s\n",
+                path);
+        }
+    }
+    EXPECT_TRUE(res.linearizable) << tag << ": " << res.reason;
+}
+
+/// Minimal synchronous command shell over a raw channel, for tests that
+/// need precise control over which node serves which request.
+class RawConn {
+public:
+    RawConn(Cluster& c, net::EndpointId ep, std::uint16_t port,
+            const std::string& name)
+        : cluster_(c) {
+        node_ = c.add_client_host(name);
+        c.cm().connect(node_, ep, port, [this](net::ChannelPtr ch) {
+            ch_ = std::move(ch);
+            ch_->set_on_message([this](std::string payload) {
+                parser_.feed(payload);
+            });
+        });
+        c.sim().run_until(c.sim().now() + sim::milliseconds(20));
+    }
+
+    [[nodiscard]] bool connected() const { return ch_ != nullptr; }
+
+    /// Send and wait (bounded) for the reply.
+    kv::resp::Value call(const std::vector<std::string>& argv,
+                         sim::Duration timeout = sim::seconds(2)) {
+        ch_->send(kv::resp::command(argv));
+        const auto stop = cluster_.sim().now() + timeout;
+        kv::resp::Value v;
+        while (cluster_.sim().now() < stop) {
+            if (parser_.next(&v) == kv::resp::Status::kOk) return v;
+            cluster_.sim().run_until(cluster_.sim().now() +
+                                     sim::milliseconds(1));
+        }
+        ADD_FAILURE() << "no reply to " << argv[0] << " within timeout";
+        return v;
+    }
+
+private:
+    Cluster& cluster_;
+    net::NodeRef node_;
+    net::ChannelPtr ch_;
+    kv::resp::ReplyParser parser_;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario 1: master crash + failover. The master dies mid-workload and
+// stays dead; clients must ride over to the promoted stand-in and every
+// op must complete (successfully or with an explicit failure) inside its
+// deadline. The recorded history must be linearizable.
+TEST(ChaosCrash, MasterCrashFailoverLinearizable) {
+    for (const std::uint64_t seed : {9101ull, 9202ull, 9303ull}) {
+        auto c = make_crash_cluster(seed);
+        Fleet fleet;
+        fleet.spawn(*c, 3, 40, 0.5);
+        c->sim().run_until(c->sim().now() + sim::milliseconds(400));
+        ASSERT_FALSE(fleet.all_idle()) << "workload finished pre-crash";
+        const auto crash_at = c->sim().now();
+        c->crash_node(-1);
+
+        ASSERT_TRUE(fleet.drain(*c, sim::seconds(60))) << "seed " << seed;
+        EXPECT_EQ(fleet.history.size(), fleet.ops_issued) << "seed " << seed;
+        EXPECT_GT(fleet.total_retries(), 0u) << "seed " << seed;
+        EXPECT_EQ(c->nic_kv()->stats().counter("failovers"), 1u)
+            << "seed " << seed;
+        int promoted = 0;
+        for (int i = 0; i < c->slave_count(); ++i) {
+            if (c->slave(i).role() == server::Role::kMaster) ++promoted;
+        }
+        EXPECT_EQ(promoted, 1) << "seed " << seed;
+        // Progress resumed after the crash, not just before it.
+        bool ok_after_crash = false;
+        for (const auto& cl : fleet.clients) {
+            if (cl->last_ok_at() > crash_at) ok_after_crash = true;
+        }
+        EXPECT_TRUE(ok_after_crash) << "seed " << seed;
+        gate_linearizable(*c, fleet.history,
+                          "master-crash seed " + std::to_string(seed));
+    }
+}
+
+// Scenario 2: slave crash during replication fan-out under commit gating.
+// Writes park on replica acks; the crash must unblock them via the
+// detector (flush or -WAITTIMEOUT + retry), and the warm restart must
+// partially resync without corrupting the history.
+TEST(ChaosCrash, SlaveCrashDuringFanoutLinearizable) {
+    for (const std::uint64_t seed : {9404ull, 9505ull, 9606ull}) {
+        auto c = make_crash_cluster(seed);
+        Fleet fleet;
+        fleet.spawn(*c, 3, 40, 0.7);
+        c->sim().run_until(c->sim().now() + sim::milliseconds(300));
+        ASSERT_FALSE(fleet.all_idle()) << "workload finished pre-crash";
+        c->crash_node(0);
+        c->sim().run_until(c->sim().now() + sim::milliseconds(800));
+        c->restart_node(0, server::KvServer::RecoveryMode::kWarm);
+
+        ASSERT_TRUE(fleet.drain(*c, sim::seconds(60))) << "seed " << seed;
+        EXPECT_EQ(fleet.history.size(), fleet.ops_issued) << "seed " << seed;
+        // Gating was actually exercised.
+        EXPECT_GT(c->master().stats().counter("writes_parked"), 0u)
+            << "seed " << seed;
+        gate_linearizable(*c, fleet.history,
+                          "slave-crash seed " + std::to_string(seed));
+        // The restarted slave rejoins and converges.
+        c->sim().run_until(c->sim().now() + sim::seconds(8));
+        EXPECT_TRUE(c->converged()) << "seed " << seed;
+        EXPECT_TRUE(c->master().db().equals(c->slave(0).db()))
+            << "seed " << seed;
+    }
+}
+
+// Scenario 3: crash + partition at the same time. One slave is fully
+// partitioned, another crashes; the master keeps serving through the
+// survivor, then both impairments heal.
+TEST(ChaosCrash, CrashPlusPartitionLinearizable) {
+    for (const std::uint64_t seed : {9707ull, 9808ull, 9909ull}) {
+        CrashClusterOpts o;
+        o.n_slaves = 3;
+        auto c = make_crash_cluster(seed, o);
+        Fleet fleet;
+        fleet.spawn(*c, 3, 40, 0.5);
+        c->sim().run_until(c->sim().now() + sim::milliseconds(300));
+        ASSERT_FALSE(fleet.all_idle()) << "workload finished pre-fault";
+
+        net::FaultSpec cut;
+        cut.blocked = true;
+        c->fabric().faults().set_endpoint(c->slave(2).node().ep, cut);
+        c->sim().run_until(c->sim().now() + sim::milliseconds(200));
+        c->crash_node(1);
+        c->sim().run_until(c->sim().now() + sim::seconds(1));
+        c->restart_node(1, server::KvServer::RecoveryMode::kWarm);
+        c->fabric().faults().clear_endpoint(c->slave(2).node().ep);
+
+        ASSERT_TRUE(fleet.drain(*c, sim::seconds(60))) << "seed " << seed;
+        EXPECT_EQ(fleet.history.size(), fleet.ops_issued) << "seed " << seed;
+        gate_linearizable(*c, fleet.history,
+                          "crash+partition seed " + std::to_string(seed));
+        c->sim().run_until(c->sim().now() + sim::seconds(10));
+        EXPECT_TRUE(c->converged()) << "seed " << seed;
+    }
+}
+
+// Scenario 4: seeded restart storm across the slaves (warm restarts) with
+// the workload running throughout.
+TEST(ChaosCrash, RestartStormLinearizable) {
+    for (const std::uint64_t seed : {8111ull, 8222ull, 8333ull}) {
+        CrashClusterOpts o;
+        o.n_slaves = 3;
+        auto c = make_crash_cluster(seed, o);
+        Fleet fleet;
+        fleet.spawn(*c, 4, 60, 0.5, sim::milliseconds(60));
+        Cluster::CrashStormSpec storm;
+        storm.crashes = 6;
+        storm.downtime = sim::milliseconds(400);
+        const int scheduled = c->schedule_crash_storm(storm);
+        EXPECT_GT(scheduled, 0) << "seed " << seed;
+        // The storm spans at most ~6 * 900ms; the paced workload runs
+        // ~3.6s, so crashes land while clients are live.
+        ASSERT_TRUE(fleet.drain(*c, sim::seconds(90))) << "seed " << seed;
+        EXPECT_EQ(fleet.history.size(), fleet.ops_issued) << "seed " << seed;
+        EXPECT_EQ(c->master().role(), server::Role::kMaster)
+            << "seed " << seed;
+        gate_linearizable(*c, fleet.history,
+                          "restart-storm seed " + std::to_string(seed));
+        c->sim().run_until(c->sim().now() + sim::seconds(10));
+        EXPECT_TRUE(c->converged()) << "seed " << seed;
+    }
+}
+
+// Scenario 5: cold restarts recover from the periodic RDB snapshot plus
+// backlog partial resync instead of process memory.
+TEST(ChaosCrash, ColdRestartStormRecoversFromSnapshot) {
+    for (const std::uint64_t seed : {8444ull, 8555ull, 8666ull}) {
+        CrashClusterOpts o;
+        o.persist_interval = sim::milliseconds(200);
+        auto c = make_crash_cluster(seed, o);
+        Fleet fleet;
+        fleet.spawn(*c, 3, 50, 0.7, sim::milliseconds(60));
+        Cluster::CrashStormSpec storm;
+        storm.crashes = 4;
+        storm.min_gap = sim::milliseconds(400);
+        storm.max_gap = sim::seconds(1);
+        storm.downtime = sim::milliseconds(500);
+        storm.mode = server::KvServer::RecoveryMode::kCold;
+        EXPECT_GT(c->schedule_crash_storm(storm), 0) << "seed " << seed;
+
+        ASSERT_TRUE(fleet.drain(*c, sim::seconds(90))) << "seed " << seed;
+        EXPECT_EQ(fleet.history.size(), fleet.ops_issued) << "seed " << seed;
+        gate_linearizable(*c, fleet.history,
+                          "cold-storm seed " + std::to_string(seed));
+
+        c->sim().run_until(c->sim().now() + sim::seconds(10));
+        EXPECT_TRUE(c->converged()) << "seed " << seed;
+        std::uint64_t cold = 0;
+        std::uint64_t snaps = 0;
+        for (int i = 0; i < c->slave_count(); ++i) {
+            cold += c->slave(i).stats().counter("cold_recoveries");
+            snaps += c->slave(i).stats().counter("snapshots_persisted");
+        }
+        EXPECT_GT(cold, 0u) << "seed " << seed;
+        EXPECT_GT(snaps, 0u) << "seed " << seed;
+        for (int i = 0; i < c->slave_count(); ++i) {
+            EXPECT_TRUE(c->master().db().equals(c->slave(i).db()))
+                << "seed " << seed << " slave" << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: the checker must provably reject a real injected consistency
+// bug. With stale replica reads enabled and no commit gating, a read
+// served by a replication-cut slave observes an old value; the recorded
+// history is genuinely non-linearizable and the gate must say so.
+TEST(ChaosCrash, CheckerRejectsInjectedStaleRead) {
+    CrashClusterOpts o;
+    o.wait_for_slaves = 0;
+    o.serve_stale_reads = true; // the injected bug
+    auto c = make_crash_cluster(7777, o);
+    check::History hist;
+    auto record = [&](check::OpType type, const std::string& value, bool found,
+                      std::int64_t invoke, std::int64_t complete) {
+        check::Op op;
+        op.client = type == check::OpType::kWrite ? 1 : 2;
+        op.seq = static_cast<std::uint64_t>(invoke);
+        op.type = type;
+        op.key = "sk";
+        op.value = value;
+        op.found = found;
+        op.invoke_ns = invoke;
+        op.complete_ns = complete;
+        hist.record(op);
+    };
+
+    RawConn master(*c, c->master().node().ep, c->master().config().port, "w");
+    ASSERT_TRUE(master.connected());
+    std::int64_t t0 = c->sim().now().ns();
+    EXPECT_TRUE(master.call({"SET", "sk", "v1"}).is_ok());
+    record(check::OpType::kWrite, "v1", true, t0, c->sim().now().ns());
+    c->sim().run_until(c->sim().now() + sim::seconds(1));
+    ASSERT_TRUE(c->converged());
+
+    // Cut replication to slave0 (both the NIC fan-out and the direct
+    // master link), then overwrite the key. slave0 keeps v1 forever.
+    net::FaultSpec cut;
+    cut.blocked = true;
+    c->fabric().faults().set_pair(c->nic_kv()->endpoint(),
+                                  c->slave(0).node().ep, cut);
+    c->fabric().faults().set_pair(c->master().node().ep,
+                                  c->slave(0).node().ep, cut);
+    t0 = c->sim().now().ns();
+    EXPECT_TRUE(master.call({"SET", "sk", "v2"}).is_ok());
+    record(check::OpType::kWrite, "v2", true, t0, c->sim().now().ns());
+    c->sim().run_until(c->sim().now() + sim::milliseconds(100));
+
+    RawConn stale(*c, c->slave(0).node().ep, c->slave(0).config().port, "r");
+    ASSERT_TRUE(stale.connected());
+    t0 = c->sim().now().ns();
+    const auto v = stale.call({"GET", "sk"});
+    ASSERT_EQ(v.kind, kv::resp::Value::Kind::kBulk);
+    EXPECT_EQ(v.str, "v1") << "expected the injected stale read";
+    record(check::OpType::kRead, v.str, true, t0, c->sim().now().ns());
+
+    const auto res = check::check_history(hist);
+    EXPECT_FALSE(res.linearizable)
+        << "checker failed to reject an injected stale read";
+}
+
+// Duplicate-suppressed write retries never double-apply, across both the
+// direct-retry path and the replicated stream (APPEND makes re-execution
+// visible as a doubled suffix).
+TEST(ChaosCrash, DuplicateWriteRetryNeverDoubleApplies) {
+    CrashClusterOpts o;
+    o.wait_for_slaves = 0;
+    auto c = make_crash_cluster(4242, o);
+    RawConn conn(*c, c->master().node().ep, c->master().config().port, "dup");
+    ASSERT_TRUE(conn.connected());
+
+    auto v1 = conn.call({"WSEQ", "7", "1", "APPEND", "dk", "x"});
+    ASSERT_EQ(v1.kind, kv::resp::Value::Kind::kInteger);
+    EXPECT_EQ(v1.num, 1);
+    // The "retry": same client, same sequence. The cached reply comes
+    // back; the command must NOT run again.
+    auto v2 = conn.call({"WSEQ", "7", "1", "APPEND", "dk", "x"});
+    ASSERT_EQ(v2.kind, kv::resp::Value::Kind::kInteger);
+    EXPECT_EQ(v2.num, 1);
+    EXPECT_GE(c->master().stats().counter("dup_suppressed"), 1u);
+
+    auto v3 = conn.call({"WSEQ", "7", "2", "APPEND", "dk", "y"});
+    ASSERT_EQ(v3.kind, kv::resp::Value::Kind::kInteger);
+    EXPECT_EQ(v3.num, 2);
+    // A stale (superseded) sequence is refused outright.
+    auto v4 = conn.call({"WSEQ", "7", "1", "APPEND", "dk", "z"});
+    EXPECT_TRUE(v4.is_error());
+    EXPECT_EQ(v4.str.find("DUPSEQ"), 0u);
+
+    auto got = conn.call({"GET", "dk"});
+    ASSERT_EQ(got.kind, kv::resp::Value::Kind::kBulk);
+    EXPECT_EQ(got.str, "xy");
+
+    // The replicated stream carried the tags: slaves applied each write
+    // exactly once too.
+    c->sim().run_until(c->sim().now() + sim::seconds(2));
+    ASSERT_TRUE(c->converged());
+    for (int i = 0; i < c->slave_count(); ++i) {
+        EXPECT_TRUE(c->master().db().equals(c->slave(i).db())) << i;
+    }
+}
+
+// Satellite: retransmit exhaustion. A one-directional NIC->slave cut with
+// a deliberately slow probe detector: the reliable layer must reach its
+// terminal broken state first and that event alone must invalidate the
+// slave in Nic-KV's node table and the master's replica count.
+TEST(ChaosCrash, RetransmitExhaustionBreaksLinkAndInvalidates) {
+    CrashClusterOpts o;
+    o.waiting_time = sim::seconds(30); // probes can't win this race
+    auto c = make_crash_cluster(5151, o);
+    ASSERT_EQ(c->nic_kv()->valid_slaves(), 2);
+    ASSERT_EQ(c->master().available_slaves(), 2);
+
+    net::FaultSpec cut;
+    cut.blocked = true;
+    c->fabric().faults().set_pair(c->nic_kv()->endpoint(),
+                                  c->slave(0).node().ep, cut);
+
+    // Traffic to retransmit: fan-out frames pile up unacked on the cut
+    // link while the healthy replica keeps the writes committing.
+    RawConn conn(*c, c->master().node().ep, c->master().config().port, "rt");
+    ASSERT_TRUE(conn.connected());
+    for (int i = 0; i < 20; ++i) {
+        conn.call({"SET", "rk" + std::to_string(i), "v"});
+    }
+    // Default ReliableParams: 8 retries, RTO 5ms doubling to 160ms —
+    // terminal broken well under 3 seconds.
+    c->sim().run_until(c->sim().now() + sim::seconds(3));
+
+    EXPECT_GE(c->nic_kv()->stats().counter("links_broken"), 1u);
+    EXPECT_GE(c->nic_kv()->stats().counter("failures_detected"), 1u);
+    EXPECT_EQ(c->nic_kv()->valid_slaves(), 1);
+    EXPECT_EQ(c->master().available_slaves(), 1);
+    EXPECT_GT(c->nic_kv()->stats().counter("rel.retransmits"), 0u);
+}
+
+// Acceptance: with every server down, ops never hang — each completes
+// with an explicit failure/timeout inside its deadline.
+TEST(ChaosCrash, TotalOutageOpsFailExplicitlyWithinDeadline) {
+    CrashClusterOpts o;
+    o.n_slaves = 1;
+    auto c = make_crash_cluster(6161, o);
+    Fleet fleet;
+    fleet.spawn(*c, 2, 6, 1.0, sim::milliseconds(150));
+    c->sim().run_until(c->sim().now() + sim::milliseconds(300));
+    ASSERT_FALSE(fleet.all_idle());
+    const auto outage_at = c->sim().now();
+    c->crash_node(-1);
+    c->crash_node(0);
+
+    ASSERT_TRUE(fleet.drain(*c, sim::seconds(40))) << "clients hung";
+    EXPECT_EQ(fleet.history.size(), fleet.ops_issued);
+    const auto deadline = sim::seconds(4);
+    for (const auto& op : fleet.history.ops()) {
+        EXPECT_LE(op.complete_ns - op.invoke_ns, deadline.ns())
+            << "op exceeded its deadline";
+        if (op.invoke_ns > outage_at.ns()) {
+            EXPECT_NE(op.outcome, check::Outcome::kOk)
+                << "op succeeded against a fully crashed cluster";
+        }
+    }
+}
+
+// Satellite: timeout/backoff determinism. The full crash scenario — with
+// retries, backoff jitter, and failover — is a pure function of the seed:
+// double-running it yields bit-identical trace digests and histories.
+TEST(ChaosCrash, CrashScenarioDeterministicWithRetries) {
+    auto run_once = [](std::uint64_t seed) {
+        auto c = make_crash_cluster(seed);
+        Fleet fleet;
+        fleet.spawn(*c, 2, 25, 0.5);
+        c->sim().run_until(c->sim().now() + sim::milliseconds(300));
+        EXPECT_FALSE(fleet.all_idle());
+        c->crash_node(-1);
+        c->sim().run_until(c->sim().now() + sim::milliseconds(400));
+        c->crash_node(0);
+        c->sim().run_until(c->sim().now() + sim::milliseconds(500));
+        c->restart_node(0, server::KvServer::RecoveryMode::kWarm);
+        EXPECT_TRUE(fleet.drain(*c, sim::seconds(60)));
+        std::string fp;
+        fp += std::to_string(c->sim().events_executed()) + "|";
+        fp += std::to_string(c->sim().trace_digest()) + "|";
+        fp += fleet.history.to_json() + "|";
+        fp += c->nic_kv()->stats().format() + "|";
+        fp += std::to_string(fleet.ok());
+        return fp;
+    };
+    EXPECT_EQ(run_once(31), run_once(31));
+    EXPECT_NE(run_once(31), run_once(32));
+}
+
+} // namespace
+} // namespace skv::offload

@@ -73,6 +73,29 @@ TEST(Backlog, ClearKeepsOffset) {
     EXPECT_TRUE(b.can_serve(off));
 }
 
+TEST(Backlog, ResetRebasesToSnapshotOffset) {
+    // Cold master restart: the stream resumes at the snapshot's offset
+    // with no retained bytes — pre-reset history must not be servable.
+    ReplBacklog b(16);
+    b.append("0123456789");
+    b.reset(4);
+    EXPECT_EQ(b.master_offset(), 4);
+    EXPECT_EQ(b.used(), 0u);
+    EXPECT_FALSE(b.can_serve(3));
+    EXPECT_TRUE(b.can_serve(4)); // empty range at the rebased offset
+    b.append("abc");
+    EXPECT_EQ(b.master_offset(), 7);
+    EXPECT_EQ(b.read_from(4), "abc");
+
+    // Rebasing forward past the ever-written offset is equally legal (the
+    // snapshot may be newer than anything this ring instance saw).
+    b.reset(100);
+    EXPECT_EQ(b.master_offset(), 100);
+    b.append("xy");
+    EXPECT_EQ(b.read_from(100), "xy");
+    EXPECT_FALSE(b.can_serve(7));
+}
+
 class BacklogModelTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(BacklogModelTest, MatchesStringReference) {
