@@ -15,13 +15,18 @@
 // with no false failovers on the healthy slaves. A JSON summary of both
 // variants is emitted at the end for plotting.
 
-// A third variant exercises the worst case: the *master* host crashes and
-// stays down. Retrying clients (per-op deadlines, capped backoff, WSEQ
-// duplicate-suppression tokens) ride the Nic-KV failover onto the promoted
-// stand-in; the variant reports the availability gap as the time from the
-// last pre-crash successful SET to the first post-crash successful SET.
+// A third family of variants exercises the worst case: the *master* host
+// crashes and stays down. Retrying clients (per-op deadlines, capped
+// backoff, WSEQ duplicate-suppression tokens) ride the Nic-KV failover
+// onto the promoted stand-in; each variant reports the availability gap
+// (time from the last pre-crash successful SET to the first post-crash
+// successful SET) and an acked-write-loss audit (acknowledged writes the
+// promoted stand-in does not hold). The family runs once per replication
+// protocol — fanout, chain, quorum (DESIGN.md §13) — since failover
+// semantics are exactly where the protocols differ.
 
 #include <algorithm>
+#include <map>
 
 #include "bench_common.hpp"
 #include "check/history.hpp"
@@ -134,16 +139,22 @@ struct CrashVariantResult {
     std::uint64_t ops_failed = 0;
     std::uint64_t ops_timed_out = 0;
     std::uint64_t retries = 0;
+    /// Acked-write-loss audit: keys whose last write was acknowledged but
+    /// whose value the promoted stand-in does not hold. Commit gating is
+    /// supposed to keep this at zero under every protocol.
+    std::uint64_t keys_audited = 0;
+    std::uint64_t acked_writes_lost = 0;
     bool drained = false;
 };
 
-CrashVariantResult run_master_crash_variant() {
+CrashVariantResult run_master_crash_variant(server::ReplicationMode mode) {
     // The worst case the paper's Fig. 14 does not show: the *master* host
     // crashes at t=3s and never comes back. Nic-KV's probes (paper-default
     // cadence: 1 s interval, 1.5 s waiting-time) detect the silence and
     // promote a slave; retrying clients rediscover the write path by
-    // rotating targets. Commit gating at one replica (wait_for_slaves)
-    // makes the failover lossless for acknowledged writes.
+    // rotating targets. Commit gating — one replica ack (fanout), the full
+    // chain (chain), a replica majority released by the NIC's watermark
+    // (quorum) — makes the failover lossless for acknowledged writes.
     offload::ClusterConfig cfg;
     cfg.n_slaves = 3;
     cfg.offload = true;
@@ -152,6 +163,7 @@ CrashVariantResult run_master_crash_variant() {
     cfg.server_tmpl.wait_for_slaves = 1;
     cfg.server_tmpl.wait_timeout = sim::milliseconds(150);
     cfg.server_tmpl.serve_stale_reads = false;
+    cfg.server_tmpl.replication_mode = mode;
     offload::Cluster cluster(cfg);
     cluster.start();
     auto& s = cluster.sim();
@@ -193,6 +205,7 @@ CrashVariantResult run_master_crash_variant() {
     const auto t0 = s.now();
     s.run_until(t0 + sim::seconds(3));
     CrashVariantResult out;
+    out.name = std::string("master crash failover (") + to_string(mode) + ")";
     const std::int64_t crash_ns = s.now().ns();
     out.crash_t_s = static_cast<double>(crash_ns - t0.ns()) / 1e9;
     cluster.crash_node(-1); // stays down: this measures failover, not reboot
@@ -241,8 +254,35 @@ CrashVariantResult run_master_crash_variant() {
     out.failures = nic_stats.counter("failures_detected");
     out.failovers = nic_stats.counter("failovers");
 
-    print_header("Fig. 14 (master crash): retrying SET clients across "
-                 "failover",
+    // Acked-write-loss audit against the promoted stand-in: for every key
+    // whose chronologically last write was acknowledged (kOk) — so no
+    // maybe-applied straggler can legitimately overwrite it — the stand-in
+    // must hold exactly that value.
+    server::KvServer* standin = nullptr;
+    for (int i = 0; i < cluster.slave_count(); ++i) {
+        if (cluster.slave(i).role() == server::Role::kMaster) {
+            standin = &cluster.slave(i);
+        }
+    }
+    if (standin != nullptr) {
+        std::map<std::string, const check::Op*> last_write;
+        for (const auto& op : hist.ops()) {
+            if (op.type != check::OpType::kWrite) continue;
+            auto& slot = last_write[op.key];
+            if (slot == nullptr || op.invoke_ns > slot->invoke_ns) slot = &op;
+        }
+        for (const auto& [key, op] : last_write) {
+            if (op->outcome != check::Outcome::kOk) continue;
+            ++out.keys_audited;
+            const auto obj = standin->db().lookup(key);
+            if (obj == nullptr || obj->string_value() != op->value) {
+                ++out.acked_writes_lost;
+            }
+        }
+    }
+
+    print_header("Fig. 14 (master crash, " + std::string(to_string(mode)) +
+                     "): retrying SET clients across failover",
                  {"t(s)", "kops/s"});
     for (std::size_t i = 0; i < out.timeline_kops.size(); ++i) {
         std::printf("%14.1f%14.1f\n", static_cast<double>(i) * 0.5,
@@ -260,11 +300,15 @@ CrashVariantResult run_master_crash_variant() {
                 static_cast<unsigned long long>(out.ops_timed_out),
                 static_cast<unsigned long long>(out.retries),
                 out.drained ? "yes" : "NO");
+    std::printf("acked-write audit: %llu keys checked, %llu acked writes "
+                "lost\n",
+                static_cast<unsigned long long>(out.keys_audited),
+                static_cast<unsigned long long>(out.acked_writes_lost));
     return out;
 }
 
 void print_json(const std::vector<VariantResult>& variants,
-                const CrashVariantResult& crash) {
+                const std::vector<CrashVariantResult>& crashes) {
     // One series per variant: summary scalars on the series, the 500 ms
     // throughput timeline as its points.
     FigureJson j("fig14_availability");
@@ -287,7 +331,7 @@ void print_json(const std::vector<VariantResult>& variants,
         }
         j.end_series();
     }
-    {
+    for (const auto& crash : crashes) {
         auto& w = j.begin_series(crash.name);
         w.kv("recovery_ms", crash.recovery_ms)
             .kv("crash_t_s", crash.crash_t_s)
@@ -297,7 +341,9 @@ void print_json(const std::vector<VariantResult>& variants,
             .kv("ops_ok", crash.ops_ok)
             .kv("ops_failed", crash.ops_failed)
             .kv("ops_timed_out", crash.ops_timed_out)
-            .kv("retries", crash.retries);
+            .kv("retries", crash.retries)
+            .kv("keys_audited", crash.keys_audited)
+            .kv("acked_writes_lost", crash.acked_writes_lost);
         w.key("drained").value_bool(crash.drained);
         j.begin_points();
         for (std::size_t i = 0; i < crash.timeline_kops.size(); ++i) {
@@ -317,7 +363,10 @@ int main() {
     std::vector<VariantResult> variants;
     variants.push_back(run_variant("clean", 0.0));
     variants.push_back(run_variant("1% repl loss", 0.01));
-    const auto crash = run_master_crash_variant();
-    print_json(variants, crash);
+    std::vector<CrashVariantResult> crashes;
+    crashes.push_back(run_master_crash_variant(server::ReplicationMode::kFanout));
+    crashes.push_back(run_master_crash_variant(server::ReplicationMode::kChain));
+    crashes.push_back(run_master_crash_variant(server::ReplicationMode::kQuorum));
+    print_json(variants, crashes);
     return 0;
 }

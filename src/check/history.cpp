@@ -46,29 +46,53 @@ void append_escaped(std::string& out, const std::string& s) {
     out += '"';
 }
 
+void append_op(std::string& out, const Op& op) {
+    out += "{\"client\":" + std::to_string(op.client);
+    out += ",\"seq\":" + std::to_string(op.seq);
+    out += ",\"type\":\"" + std::string(to_string(op.type)) + "\"";
+    out += ",\"key\":";
+    append_escaped(out, op.key);
+    out += ",\"value\":";
+    append_escaped(out, op.value);
+    out += ",\"found\":";
+    out += op.found ? "true" : "false";
+    out += ",\"outcome\":\"" + std::string(to_string(op.outcome)) + "\"";
+    out += ",\"invoke_ns\":" + std::to_string(op.invoke_ns);
+    out += ",\"complete_ns\":" + std::to_string(op.complete_ns);
+    out += '}';
+}
+
 } // namespace
 
 std::string History::to_json() const {
     std::string out = "{\"schema\":\"skv-history-v1\",\"ops\":[\n";
     for (std::size_t i = 0; i < ops_.size(); ++i) {
-        const Op& op = ops_[i];
-        out += "{\"client\":" + std::to_string(op.client);
-        out += ",\"seq\":" + std::to_string(op.seq);
-        out += ",\"type\":\"" + std::string(to_string(op.type)) + "\"";
-        out += ",\"key\":";
-        append_escaped(out, op.key);
-        out += ",\"value\":";
-        append_escaped(out, op.value);
-        out += ",\"found\":";
-        out += op.found ? "true" : "false";
-        out += ",\"outcome\":\"" + std::string(to_string(op.outcome)) + "\"";
-        out += ",\"invoke_ns\":" + std::to_string(op.invoke_ns);
-        out += ",\"complete_ns\":" + std::to_string(op.complete_ns);
-        out += '}';
+        append_op(out, ops_[i]);
         if (i + 1 < ops_.size()) out += ',';
         out += '\n';
     }
     out += "]}\n";
+    return out;
+}
+
+std::string History::to_json_for_key(const std::string& key) const {
+    std::string out = "{\"schema\":\"skv-history-v1\",\"key\":";
+    append_escaped(out, key);
+    out += ",\"ops\":[\n";
+    bool first = true;
+    for (const Op& op : ops_) {
+        if (op.key != key) continue;
+        // Mirror the checker's filtering: failed ops have no effect and
+        // unanswered reads constrain nothing.
+        if (op.outcome == Outcome::kFail) continue;
+        if (op.outcome == Outcome::kTimeout && op.type == OpType::kRead) {
+            continue;
+        }
+        if (!first) out += ",\n";
+        first = false;
+        append_op(out, op);
+    }
+    out += "\n]}\n";
     return out;
 }
 

@@ -63,6 +63,12 @@ public:
     /// for the CI artifact uploaded when a checker gate fails.
     [[nodiscard]] std::string to_json() const;
 
+    /// Same schema, restricted to the ops that actually constrain one
+    /// key's linearizability: kFail ops and timed-out reads are dropped,
+    /// exactly mirroring the checker's own filtering. This is the minimal
+    /// sub-history a human replays when the gate names an offending key.
+    [[nodiscard]] std::string to_json_for_key(const std::string& key) const;
+
 private:
     std::vector<Op> ops_;
 };

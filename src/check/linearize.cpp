@@ -175,6 +175,7 @@ CheckResult check_history(const History& h, const CheckOptions& opts) {
             ++res.keys_fast_path;
             if (!verify_sequential(kh.ops)) {
                 res.linearizable = false;
+                res.offending_key = key;
                 res.reason = "key '" + key + "': sequential history violates " +
                              "register semantics (stale or phantom read)";
                 return res;
@@ -186,6 +187,7 @@ CheckResult check_history(const History& h, const CheckOptions& opts) {
         res.nodes_explored += search.explored();
         if (search.exhausted()) {
             res.budget_exhausted = true;
+            res.offending_key = key;
             res.reason = "key '" + key + "': search budget exhausted after " +
                          std::to_string(search.explored()) +
                          " nodes; verdict indeterminate";
@@ -193,6 +195,7 @@ CheckResult check_history(const History& h, const CheckOptions& opts) {
         }
         if (!ok) {
             res.linearizable = false;
+            res.offending_key = key;
             res.reason = "key '" + key + "' (" +
                          std::to_string(kh.ops.size()) +
                          " ops): no valid linearization order exists";

@@ -17,6 +17,10 @@ struct CheckResult {
     bool linearizable = true;
     bool budget_exhausted = false;
     std::string reason;
+    /// The key whose per-key sub-history triggered the violation or budget
+    /// exhaustion (empty on a clean pass). Test gates dump only this key's
+    /// sub-history — the minimal artifact a human actually debugs with.
+    std::string offending_key;
     /// Search-effort accounting across all per-key sub-histories.
     std::uint64_t nodes_explored = 0;
     std::uint64_t keys_checked = 0;

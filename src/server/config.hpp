@@ -14,8 +14,20 @@ enum class Transport : std::uint8_t { kTcp, kRdma };
 /// Replication role of a Host-KV instance.
 enum class Role : std::uint8_t { kStandalone, kMaster, kSlave };
 
+/// Which replication protocol the cluster runs (DESIGN.md §13, ROADMAP
+/// item 4). kFanout is the paper's asynchronous master→Nic-KV→slaves
+/// fan-out (plus PR 6's commit gating). kChain is chain replication:
+/// writes flow NIC→head→…→tail along NIC-maintained successor tables, a
+/// commit requires every valid chain member's ack (tail semantics in an
+/// in-order chain), and the tail may serve reads under a probe lease.
+/// kQuorum is ABD-flavored majority replication: the NIC aggregates slave
+/// acks and releases the commit watermark at a replica majority, with a
+/// read-phase write-back for parked linearizable reads.
+enum class ReplicationMode : std::uint8_t { kFanout, kChain, kQuorum };
+
 const char* to_string(Transport t);
 const char* to_string(Role r);
+const char* to_string(ReplicationMode m);
 
 struct ServerConfig {
     std::string name = "kv";
@@ -81,14 +93,29 @@ struct ServerConfig {
     /// restart recovers from. Zero (default) disables persistence — a cold
     /// restart then comes back empty at offset 0 (full resync).
     sim::Duration persist_interval{};
-    /// Retained duplicate-suppression entries, one per writing client
-    /// (smallest client id evicted first beyond the cap).
+    /// Retained duplicate-suppression entries, one per writing client.
+    /// Beyond the cap the least-recently-active client is evicted (LRU),
+    /// and a master replicates each eviction through the stream so slave
+    /// tables stay bounded in lockstep.
     std::size_t dup_table_max = 1024;
     /// Redis default: replicas serve reads from their (possibly lagging)
     /// copy. Set false for linearizable deployments: slaves answer reads
     /// with -READONLY so retrying clients route every operation to the
     /// current master.
     bool serve_stale_reads = true;
+
+    /// --- replication protocol menu ----------------------------------------
+    /// Which protocol Nic-KV executes for this cluster. Chain and quorum
+    /// modes require the SKV offload topology (Cluster enforces this).
+    ReplicationMode replication_mode = ReplicationMode::kFanout;
+    /// Chain mode: the tail serves reads only while it has heard a NIC
+    /// probe within this window (and has applied up to its assignment-time
+    /// read floor). The lease MUST be shorter than the failure detector's
+    /// invalidation latency (waiting_time + probe_interval, and the
+    /// reliable-layer retransmit-exhaustion time) or a partitioned stale
+    /// tail could keep answering reads the surviving chain no longer
+    /// includes in its commits.
+    sim::Duration chain_read_lease{sim::milliseconds(400)};
 
     /// Commands whose service time (queue wait + execution on the core)
     /// meets this threshold are recorded in the SLOWLOG ring (Redis default:

@@ -26,6 +26,15 @@ const char* to_string(Role r) {
     return "?";
 }
 
+const char* to_string(ReplicationMode m) {
+    switch (m) {
+        case ReplicationMode::kFanout: return "fanout";
+        case ReplicationMode::kChain: return "chain";
+        case ReplicationMode::kQuorum: return "quorum";
+    }
+    return "?";
+}
+
 KvServer::KvServer(sim::Simulation& sim, const cpu::CostModel& costs,
                    Transports nets, net::NodeRef self, ServerConfig cfg)
     : sim_(sim), costs_(costs), nets_(nets), self_(self), cfg_(std::move(cfg)),
@@ -173,6 +182,15 @@ void KvServer::on_node_link_broken(const net::Channel* raw) {
         }
         return;
     }
+    if (chain_succ_link_ && chain_succ_link_.get() == raw) {
+        chain_succ_link_->close();
+        chain_succ_link_.reset();
+        release_conn(raw);
+        // No redial on our own: the NIC's failure detector re-splices the
+        // chain and sends a fresh assignment (possibly naming someone else).
+        stats_.incr("chain_links_broken");
+        return;
+    }
     release_conn(raw);
 }
 
@@ -291,12 +309,19 @@ void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv)
                               traced, tagged, tag]() {
         ++commands_;
         std::string reply;
-        if (tagged) {
+        // Replicas hold dup entries too (for promotion handover and replay
+        // suppression in apply_one), but having applied a write says nothing
+        // about whether it is commit-gated: an un-promoted replica must not
+        // answer a retry from its cache, or an uncommitted write gets acked
+        // while e.g. the chain tail still lags it. Fall through to the
+        // role check, which bounces the client back to the master.
+        if (tagged && role_ != Role::kSlave) {
             const auto it = dup_table_.find(tag.client);
             if (it != dup_table_.end() && it->second.seq == tag.seq) {
                 // Already executed: never re-apply. Either replay the
                 // cached reply or, if the original is still parked on
                 // replica acks, adopt this connection as the waiter.
+                it->second.last_used = ++dup_use_tick_;
                 stats_.incr("dup_suppressed");
                 record_command_latency(argv, /*is_write=*/true, t0);
                 if (it->second.ready) {
@@ -317,12 +342,20 @@ void KvServer::run_command(const ClientPtr& conn, std::vector<std::string> argv)
         }
         if (spec != nullptr && !spec->is_write() && role_ == Role::kSlave &&
             !cfg_.serve_stale_reads) {
-            stats_.incr("reads_rejected_stale");
-            record_command_latency(argv, /*is_write=*/false, t0);
-            if (traced) tracer_->flow_server_done(conn->channel->flow_id());
-            conn->channel->send(kv::resp::error(
-                "READONLY Reads from replicas are disabled."));
-            return;
+            // Chain mode: the tail's copy is the chain's committed prefix
+            // (every acked write passed through it), so the tail may answer
+            // reads while its probe lease is fresh and it has caught up to
+            // its assignment-time floor. Everyone else refuses.
+            if (chain_read_ok()) {
+                stats_.incr("chain_tail_reads");
+            } else {
+                stats_.incr("reads_rejected_stale");
+                record_command_latency(argv, /*is_write=*/false, t0);
+                if (traced) tracer_->flow_server_done(conn->channel->flow_id());
+                conn->channel->send(kv::resp::error(
+                    "READONLY Reads from replicas are disabled."));
+                return;
+            }
         }
         if (spec != nullptr && spec->is_write()) {
             std::string err;
@@ -364,6 +397,17 @@ int KvServer::commit_need() const {
     for (const auto& s : slaves_) {
         if (s.valid) ++valid;
     }
+    if (cfg_.replication_mode == ReplicationMode::kChain) {
+        // Chain commit = the tail applied it, which in an in-order chain
+        // means every live member did: require all valid links, so a tail
+        // read can never miss an acked write. The detector's member count
+        // is a floor on the requirement: a healed member the NIC already
+        // splices back in (it may become the leased tail) can be missing
+        // from slaves_ until it re-registers, and committing without its
+        // ack in that window would let the new tail serve stale reads.
+        if (cfg_.offload_replication) return std::max(valid, available_slaves_);
+        return valid;
+    }
     return std::min(cfg_.wait_for_slaves, valid);
 }
 
@@ -375,19 +419,50 @@ int KvServer::acked_replicas(std::int64_t offset) const {
     return n;
 }
 
+bool KvServer::commit_satisfied(std::int64_t offset) const {
+    if (cfg_.replication_mode == ReplicationMode::kQuorum &&
+        role_ == Role::kMaster && cfg_.wait_for_slaves > 0) {
+        // Quorum commits are released by the NIC's ack aggregation, not by
+        // per-slave ack counting. A master with no registered replicas
+        // (bootstrap, or a promoted stand-in serving solo) is its own
+        // majority-of-one, matching fan-out's need==0 behavior.
+        if (slaves_.empty() && available_slaves_ <= 0) return true;
+        return quorum_commit_offset_ >= offset;
+    }
+    const int need = commit_need();
+    return need == 0 || acked_replicas(offset) >= need;
+}
+
 void KvServer::dup_record(const WriteTag& tag, std::string reply, bool ready,
                           std::int64_t offset) {
-    dup_table_[tag.client] = DupState{tag.seq, std::move(reply), ready, offset};
-    while (dup_table_.size() > cfg_.dup_table_max) {
-        dup_table_.erase(dup_table_.begin());
+    dup_table_[tag.client] =
+        DupState{tag.seq, std::move(reply), ready, offset, ++dup_use_tick_};
+    // Only the master (or a promoted stand-in) chooses victims; replicas
+    // mirror the choice via the replicated WSEQEVICT below. Retry hits
+    // touch last_used on the master alone, so a replica running its own
+    // LRU scan could pick a *different* victim and drift out of lockstep
+    // — a promoted stand-in would then re-execute a write the old master
+    // still suppressed. A replica's table exceeds the cap only by the
+    // evictions still in flight in the stream.
+    while (role_ != Role::kSlave && dup_table_.size() > cfg_.dup_table_max) {
+        // Evict the least-recently-active client: quiescent retriers go
+        // first, live ones keep their entries. Deterministic linear scan —
+        // eviction is rare and the table is capped.
+        auto victim = dup_table_.begin();
+        for (auto it = dup_table_.begin(); it != dup_table_.end(); ++it) {
+            if (it->second.last_used < victim->second.last_used) victim = it;
+        }
+        const std::uint64_t evicted = victim->first;
+        dup_table_.erase(victim);
+        stats_.incr("dup_evictions");
+        propagate({"WSEQEVICT", std::to_string(evicted)});
     }
 }
 
 void KvServer::deliver_or_park(const ClientPtr& conn, std::string reply,
                                std::int64_t offset, bool is_write, bool tagged,
                                WriteTag tag, bool traced) {
-    const int need = commit_need();
-    if (need == 0 || acked_replicas(offset) >= need) {
+    if (commit_satisfied(offset)) {
         if (tagged) dup_record(tag, reply, /*ready=*/true, offset);
         if (traced && tracer_ != nullptr) {
             tracer_->flow_server_done(conn->channel->flow_id());
@@ -401,14 +476,16 @@ void KvServer::deliver_or_park(const ClientPtr& conn, std::string reply,
                                tag, traced});
     stats_.incr(is_write ? "writes_parked" : "reads_parked");
     sim_.after(cfg_.wait_timeout, [this, id]() { on_wait_timeout(id); });
+    if (!is_write && cfg_.replication_mode == ReplicationMode::kQuorum) {
+        maybe_read_repair(offset);
+    }
 }
 
 void KvServer::flush_parked() {
     if (parked_.empty()) return;
-    const int need = commit_need();
     for (auto it = parked_.begin(); it != parked_.end();) {
         Parked& p = it->second;
-        if (need > 0 && acked_replicas(p.offset) < need) {
+        if (!commit_satisfied(p.offset)) {
             ++it;
             continue;
         }
@@ -765,6 +842,39 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
             apply_repl_stream(msg.field, msg.body);
             break;
         }
+        case NodeMsg::Type::kChainSet: {
+            handle_chain_set(msg);
+            break;
+        }
+        case NodeMsg::Type::kChainData: {
+            // Chain member: relay downstream first (so the hop overlaps our
+            // own apply), then apply locally.
+            if (role_ == Role::kSlave &&
+                cfg_.replication_mode == ReplicationMode::kChain) {
+                stats_.incr("chain_frames");
+                chain_forward_frame(msg.field, msg.body);
+                if (tracer_ != nullptr && tracer_->enabled()) {
+                    tracer_->repl_slave_apply(msg.field, obs_track_);
+                }
+                apply_repl_stream(msg.field, msg.body);
+            } else {
+                stats_.incr("node_msgs_unexpected");
+            }
+            break;
+        }
+        case NodeMsg::Type::kQuorumCommit: {
+            // Quorum master: the NIC released a new majority watermark.
+            if (role_ != Role::kSlave &&
+                cfg_.replication_mode == ReplicationMode::kQuorum) {
+                quorum_commit_offset_ =
+                    std::max(quorum_commit_offset_, msg.field);
+                stats_.incr("quorum_commit_updates");
+                flush_parked();
+            } else {
+                stats_.incr("node_msgs_unexpected");
+            }
+            break;
+        }
         case NodeMsg::Type::kBacklog: {
             // The sender of sync data is our master: progress reports go
             // back on this channel (baseline: the SYNC channel; SKV: the
@@ -794,6 +904,10 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
             if (role_ == Role::kSlave) {
                 role_ = Role::kMaster;
                 stats_.incr("promotions");
+                // A stand-in master is no chain member: it must neither
+                // relay frames nor serve leased tail reads while it serves
+                // writes solo.
+                reset_chain_state();
             }
             break;
         }
@@ -814,11 +928,16 @@ void KvServer::handle_node_msg(const ClientPtr& conn, const NodeMsg& msg) {
                 }
                 slaves_.clear();
                 available_slaves_ = 0;
+                // Back to slave duty with stale chain knowledge: wait for a
+                // fresh successor assignment before rejoining the chain.
+                reset_chain_state();
             }
             break;
         }
         case NodeMsg::Type::kInitSync:
         case NodeMsg::Type::kProbeAck:
+        case NodeMsg::Type::kQuorumAck:
+        case NodeMsg::Type::kReadRepair:
             // Nic-KV traffic; a Host-KV server never receives these.
             stats_.incr("node_msgs_unexpected");
             break;
@@ -848,7 +967,10 @@ void KvServer::apply_repl_stream(std::int64_t start_offset,
     drain_pending_stream();
     // Low-latency progress report so a commit-gating master can release
     // parked replies after one round trip instead of one ack_interval.
-    if (cfg_.ack_on_apply && role_ == Role::kSlave) send_ack();
+    if (cfg_.ack_on_apply && role_ == Role::kSlave) {
+        send_ack();
+        send_quorum_ack();
+    }
 }
 
 void KvServer::drain_pending_stream() {
@@ -896,6 +1018,17 @@ void KvServer::apply_one(std::vector<std::string> argv) {
             // retries of writes it already applied via fan-out — and never
             // applies the same (client, seq) twice even if a resync range
             // overlaps frames already seen.
+            // Replicated dup-table eviction: drop the entry the master
+            // trimmed so this replica's table stays bounded in lockstep.
+            if (argv.size() == 2 && argv[0] == "WSEQEVICT") {
+                if (const auto id = kv::string2ll(argv[1]);
+                    id.has_value() && *id >= 0) {
+                    dup_table_.erase(static_cast<std::uint64_t>(*id));
+                }
+                stats_.incr("dup_evictions_applied");
+                c_repl_applied_.incr();
+                return;
+            }
             WriteTag tag{};
             std::string cached;
             if (strip_replicated_tag(argv, &tag, &cached)) {
@@ -924,7 +1057,10 @@ void KvServer::load_snapshot(std::int64_t offset, const std::string& rdb_bytes) 
     repl_parser_.reset();
     stats_.incr("rdb_loaded");
     drain_pending_stream();
-    if (cfg_.ack_on_apply && role_ == Role::kSlave) send_ack();
+    if (cfg_.ack_on_apply && role_ == Role::kSlave) {
+        send_ack();
+        send_quorum_ack();
+    }
 }
 
 void KvServer::send_ack() {
@@ -932,6 +1068,166 @@ void KvServer::send_ack() {
     self_.core->consume(costs_.event_dispatch);
     master_link_->send(
         NodeMsg{NodeMsg::Type::kAck, applied_offset_, cfg_.name}.encode());
+}
+
+// --- chain replication (slave side) -------------------------------------------
+
+void KvServer::reset_chain_state() {
+    chain_member_ = false;
+    chain_is_tail_ = false;
+    chain_succ_.clear();
+    ++chain_dial_epoch_; // orphan any in-flight successor dial
+    if (chain_succ_link_) {
+        const net::Channel* old = chain_succ_link_.get();
+        chain_succ_link_->close();
+        chain_succ_link_.reset();
+        release_conn(old);
+    }
+    chain_fwd_pending_.clear();
+    chain_fwd_pending_bytes_ = 0;
+}
+
+void KvServer::handle_chain_set(const NodeMsg& msg) {
+    if (role_ != Role::kSlave ||
+        cfg_.replication_mode != ReplicationMode::kChain) {
+        return;
+    }
+    stats_.incr("chain_sets");
+    if (msg.body == "-") {
+        // The master died: the chain carries no commits until it returns,
+        // so leave it (and stop serving leased tail reads immediately).
+        reset_chain_state();
+        return;
+    }
+    chain_member_ = true;
+    // The NIC's fan-out cursor at assignment time: data this member may
+    // still be missing from before the splice. Reads stay refused until
+    // the local apply cursor passes it.
+    chain_read_floor_ = msg.field;
+    chain_is_tail_ = msg.body.empty();
+    if (msg.body == chain_succ_ &&
+        (chain_is_tail_ || (chain_succ_link_ && chain_succ_link_->open()))) {
+        return; // no successor change and the link is healthy
+    }
+    // Successor changed (or its link died): drop the old link and any
+    // frames buffered for it — the NIC resyncs the new successor's gap.
+    if (chain_succ_link_) {
+        const net::Channel* old = chain_succ_link_.get();
+        chain_succ_link_->close();
+        chain_succ_link_.reset();
+        release_conn(old);
+    }
+    chain_fwd_pending_.clear();
+    chain_fwd_pending_bytes_ = 0;
+    chain_succ_ = msg.body;
+    if (!chain_is_tail_) dial_chain_successor();
+}
+
+void KvServer::dial_chain_successor() {
+    const auto at = chain_succ_.find('@');
+    if (at == std::string::npos) return;
+    const auto ep =
+        static_cast<net::EndpointId>(std::stoul(chain_succ_.substr(at + 1)));
+    const std::uint64_t epoch = ++chain_dial_epoch_;
+    auto cb = [this, epoch](net::ChannelPtr ch) {
+        if (!ch) return;
+        if (crashed_ || epoch != chain_dial_epoch_ || role_ != Role::kSlave) {
+            ch->close();
+            return;
+        }
+        ch = wrap_node_link(std::move(ch));
+        chain_succ_link_ = ch;
+        auto conn = std::make_shared<ClientConn>();
+        conn->channel = ch;
+        conn->node_link = true;
+        clients_.push_back(conn);
+        install_node_handler(conn);
+        stats_.incr("chain_links_dialed");
+        // Relay frames that arrived while the dial was in flight.
+        while (!chain_fwd_pending_.empty()) {
+            auto [off, data] = std::move(chain_fwd_pending_.front());
+            chain_fwd_pending_.pop_front();
+            chain_fwd_pending_bytes_ -= data.size();
+            chain_succ_link_->send(
+                NodeMsg{NodeMsg::Type::kChainData, off, data}.encode());
+        }
+    };
+    SKV_CHECK(cfg_.transport == Transport::kRdma,
+              "chain replication requires the RDMA transport");
+    nets_.cm->connect(self_, ep, static_cast<std::uint16_t>(cfg_.port + 1), cb);
+    sim_.after(cfg_.connect_retry, [this, epoch]() {
+        if (crashed_ || epoch != chain_dial_epoch_ || chain_is_tail_ ||
+            !chain_member_) {
+            return;
+        }
+        if (chain_succ_link_ && chain_succ_link_->open()) return;
+        stats_.incr("connect_retries");
+        dial_chain_successor();
+    });
+}
+
+void KvServer::chain_forward_frame(std::int64_t offset,
+                                   const std::string& bytes) {
+    if (chain_is_tail_ || chain_succ_.empty()) return;
+    if (chain_succ_link_ && chain_succ_link_->open()) {
+        self_.core->consume(costs_.jittered(rng_, costs_.repl_feed_slave) +
+                            costs_.copy_cost(bytes.size()));
+        chain_succ_link_->send(
+            NodeMsg{NodeMsg::Type::kChainData, offset, bytes}.encode());
+        stats_.incr("chain_forwards");
+        return;
+    }
+    // Successor link still dialing: hold the frame (bounded). Overflow is
+    // dropped — the NIC's stall resync serves the successor from the
+    // master's backlog instead.
+    if (chain_fwd_pending_bytes_ + bytes.size() <= kChainFwdPendingCap) {
+        chain_fwd_pending_bytes_ += bytes.size();
+        chain_fwd_pending_.emplace_back(offset, bytes);
+    } else {
+        stats_.incr("chain_fwd_dropped");
+    }
+}
+
+bool KvServer::chain_read_ok() const {
+    if (cfg_.replication_mode != ReplicationMode::kChain) return false;
+    if (role_ != Role::kSlave || !chain_member_ || !chain_is_tail_) return false;
+    if (applied_offset_ < chain_read_floor_) return false; // still catching up
+    // Probe lease: a tail the NIC can no longer reach must stop answering
+    // before the detector excludes it from the commit set, or a partitioned
+    // stale tail would serve reads that miss newer acked writes.
+    return sim_.now().ns() - last_probe_ns_ <= cfg_.chain_read_lease.ns();
+}
+
+// --- quorum replication -------------------------------------------------------
+
+void KvServer::send_quorum_ack() {
+    if (cfg_.replication_mode != ReplicationMode::kQuorum) return;
+    if (role_ != Role::kSlave || !nic_registration_ ||
+        !nic_registration_->open()) {
+        return;
+    }
+    self_.core->consume(costs_.event_dispatch);
+    nic_registration_->send(
+        NodeMsg{NodeMsg::Type::kQuorumAck, applied_offset_, cfg_.name}.encode());
+}
+
+void KvServer::maybe_read_repair(std::int64_t offset) {
+    // ABD read phase 2: this read observed state at `offset`, which is not
+    // yet majority-acknowledged. Push the missing backlog suffix back
+    // through the NIC so it reaches a majority before the parked reply
+    // releases. High-water deduped: concurrent parked reads share one
+    // write-back.
+    if (!nic_attached_ || !nic_link_ || !nic_link_->open()) return;
+    if (offset <= read_repair_sent_ || offset <= quorum_commit_offset_) return;
+    const std::int64_t from = std::max<std::int64_t>(quorum_commit_offset_, 0);
+    if (!backlog_.can_serve(from)) return; // resync machinery covers laggards
+    const std::string range = backlog_.read_from(from);
+    if (range.empty()) return;
+    self_.core->consume(costs_.jittered(rng_, costs_.offload_request_build) +
+                        costs_.copy_cost(range.size()));
+    nic_link_->send(NodeMsg{NodeMsg::Type::kReadRepair, from, range}.encode());
+    read_repair_sent_ = backlog_.master_offset();
+    stats_.incr("read_repairs_sent");
 }
 
 // --- role wiring -------------------------------------------------------------------
@@ -1079,7 +1375,10 @@ void KvServer::cron() {
         ++cron_ticks_;
         const std::int64_t acks_every =
             std::max<std::int64_t>(1, cfg_.ack_interval.ns() / cfg_.cron_interval.ns());
-        if (cron_ticks_ % acks_every == 0) send_ack();
+        if (cron_ticks_ % acks_every == 0) {
+            send_ack();
+            send_quorum_ack();
+        }
 
         // Periodic RDB persistence: the snapshot + offset pair is the only
         // state a cold restart recovers from.
@@ -1139,6 +1438,17 @@ void KvServer::crash() {
     nic_attached_ = false;
     pending_stream_.clear();
     pending_stream_bytes_ = 0;
+    // Chain/quorum volatile state dies with the process too. No close() on
+    // the successor link either — same reasoning as above.
+    chain_member_ = false;
+    chain_is_tail_ = false;
+    chain_succ_.clear();
+    chain_succ_link_.reset();
+    ++chain_dial_epoch_;
+    chain_fwd_pending_.clear();
+    chain_fwd_pending_bytes_ = 0;
+    quorum_commit_offset_ = 0;
+    read_repair_sent_ = 0;
     // Parked replies die with their connections; their wait-timeout events
     // find nothing and no-op. The dup table survives for a *warm* restart
     // (same process memory); a cold recover() wipes it.
@@ -1215,6 +1525,8 @@ std::string KvServer::info_sections() const {
     out += "role:" + std::string(to_string(role_)) + "\r\n";
     out += "offload_replication:" +
            std::string(cfg_.offload_replication ? "yes" : "no") + "\r\n";
+    out += "replication_mode:" +
+           std::string(to_string(cfg_.replication_mode)) + "\r\n";
     out += "connected_slaves:" + kv::ll2string(static_cast<long long>(slaves_.size())) + "\r\n";
     out += "available_slaves:" + kv::ll2string(available_slaves_) + "\r\n";
     out += "master_repl_offset:" + kv::ll2string(backlog_.master_offset()) + "\r\n";

@@ -79,6 +79,18 @@ public:
     [[nodiscard]] std::size_t parked_replies() const { return parked_.size(); }
     /// Retained duplicate-suppression entries (one per writing client).
     [[nodiscard]] std::size_t dup_entries() const { return dup_table_.size(); }
+    /// Whether a duplicate-suppression entry for `client` is retained.
+    [[nodiscard]] bool dup_has(std::uint64_t client) const {
+        return dup_table_.find(client) != dup_table_.end();
+    }
+    /// Chain mode: whether this node currently believes it is the tail.
+    [[nodiscard]] bool chain_is_tail() const {
+        return chain_member_ && chain_is_tail_;
+    }
+    /// Quorum mode: the majority watermark last released by the NIC.
+    [[nodiscard]] std::int64_t quorum_commit_offset() const {
+        return quorum_commit_offset_;
+    }
 
     // --- introspection -----------------------------------------------------------
     [[nodiscard]] kv::Database& db() { return db_; }
@@ -171,6 +183,10 @@ private:
     /// Replicas needed to consider `offset` committed right now.
     [[nodiscard]] int commit_need() const;
     [[nodiscard]] int acked_replicas(std::int64_t offset) const;
+    /// Protocol-aware commit predicate: fan-out/chain count slave acks
+    /// (chain needs every valid member — tail semantics); quorum gates on
+    /// the NIC-released majority watermark.
+    [[nodiscard]] bool commit_satisfied(std::int64_t offset) const;
     /// Re-deliver every parked reply whose offset became acknowledged
     /// (called whenever ack progress or the slave set changes).
     void flush_parked();
@@ -199,6 +215,26 @@ private:
     void apply_one(std::vector<std::string> argv);
     void load_snapshot(std::int64_t offset, const std::string& rdb_bytes);
     void send_ack();
+
+    // -- chain replication (slave side, DESIGN.md §13)
+    void handle_chain_set(const NodeMsg& msg);
+    /// Relay a chain frame to the successor (or buffer it while the
+    /// successor link is still dialing), then apply it locally.
+    void chain_forward_frame(std::int64_t offset, const std::string& bytes);
+    void dial_chain_successor();
+    void reset_chain_state();
+    /// Whether this node may answer a read right now as the chain tail:
+    /// requires tail role, catch-up past the assignment-time read floor,
+    /// and a fresh probe lease (see ServerConfig::chain_read_lease).
+    [[nodiscard]] bool chain_read_ok() const;
+
+    // -- quorum replication (DESIGN.md §13)
+    /// Slave: report applied progress to the NIC's ack aggregation.
+    void send_quorum_ack();
+    /// Master: ABD read-phase write-back — push the not-yet-majority
+    /// backlog suffix through the NIC so the state a parked read observed
+    /// reaches a majority before the reply releases.
+    void maybe_read_repair(std::int64_t offset);
 
     // -- introspection commands / latency accounting
     void record_command_latency(const std::vector<std::string>& argv,
@@ -255,17 +291,37 @@ private:
     std::size_t pending_stream_bytes_ = 0;
     static constexpr std::size_t kPendingStreamCap = 64 * 1024 * 1024;
 
+    // chain state (slave side): successor assignment from the NIC.
+    bool chain_member_ = false;    // holds a live kChainSet assignment
+    bool chain_is_tail_ = false;
+    std::string chain_succ_;       // successor "<name>@<ep>", "" = tail
+    net::ChannelPtr chain_succ_link_;
+    std::uint64_t chain_dial_epoch_ = 0;
+    std::int64_t chain_read_floor_ = 0;
+    /// Frames to relay that arrived while the successor link was dialing.
+    /// Bounded; overflow drops (the NIC's stall resync heals the gap).
+    std::deque<std::pair<std::int64_t, std::string>> chain_fwd_pending_;
+    std::size_t chain_fwd_pending_bytes_ = 0;
+    static constexpr std::size_t kChainFwdPendingCap = 8 * 1024 * 1024;
+
+    // quorum state (master side).
+    std::int64_t quorum_commit_offset_ = 0; // NIC-released majority watermark
+    std::int64_t read_repair_sent_ = 0;     // high-water dedup for write-backs
+
     // Duplicate suppression: last write sequence executed per client, with
     // the cached reply. `ready` flips once the reply was actually released
     // to a client (commit gating can hold it back); `offset` is the stream
-    // offset a retry must wait on while not ready.
+    // offset a retry must wait on while not ready. `last_used` orders LRU
+    // eviction beyond dup_table_max (see dup_record).
     struct DupState {
         std::uint64_t seq = 0;
         std::string reply;
         bool ready = true;
         std::int64_t offset = 0;
+        std::uint64_t last_used = 0;
     };
     std::map<std::uint64_t, DupState> dup_table_;
+    std::uint64_t dup_use_tick_ = 0;
 
     // Replies parked by commit gating, keyed by a monotonic id so flush
     // order is deterministic.

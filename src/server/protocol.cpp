@@ -31,6 +31,11 @@ std::optional<NodeMsg> NodeMsg::decode(std::string_view wire) {
         case Type::kDemote:
         case Type::kSync:
         case Type::kSlaveCount:
+        case Type::kChainSet:
+        case Type::kChainData:
+        case Type::kQuorumAck:
+        case Type::kQuorumCommit:
+        case Type::kReadRepair:
             break;
         default:
             return std::nullopt;

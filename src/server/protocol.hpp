@@ -52,6 +52,31 @@ struct NodeMsg {
         // Nic-KV -> master: failure-detector status. field = number of
         // available slaves; body = comma-separated invalid slave names.
         kSlaveCount = 'C',
+        // --- replication protocol menu (DESIGN.md §13) -------------------
+        // Nic-KV -> slave (chain mode): successor assignment after a chain
+        // (re-)splice. field = the NIC's fan-out cursor at assignment time,
+        // which becomes the member's read floor; body = successor
+        // "<name>@<ep>", "" for the tail, "-" to leave the chain (the
+        // master died and commits no longer flow through it).
+        kChainSet = 'H',
+        // Chain-forward replication data: Nic-KV -> head, then each member
+        // to its successor. Same payload shape as kReplData: field = stream
+        // offset of the first byte; body = RESP-encoded write commands.
+        kChainData = 'X',
+        // Slave -> Nic-KV (quorum mode): per-apply progress report feeding
+        // the NIC-side ack aggregation. field = applied offset; body =
+        // slave name.
+        kQuorumAck = 'Q',
+        // Nic-KV -> master (quorum mode): majority watermark. field = the
+        // highest offset acknowledged by a slave majority (counting the
+        // master's own copy toward the replica majority).
+        kQuorumCommit = 'M',
+        // Master -> Nic-KV (quorum mode): ABD read-phase write-back. A
+        // parked read pushes the not-yet-majority backlog suffix back
+        // through the NIC so the state it observed reaches a majority
+        // before the reply releases. field = start offset; body = stream
+        // bytes. The NIC re-fans it to lagging replicas as kReplData.
+        kReadRepair = 'E',
     };
 
     Type type;

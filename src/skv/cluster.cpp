@@ -17,6 +17,13 @@ Cluster::Cluster(ClusterConfig cfg)
 void Cluster::start() {
     SKV_CHECK(!started_);
     started_ = true;
+    // Chain and quorum replication are executed by Nic-KV: the chain is
+    // spliced from the failure detector's view and quorum acks aggregate on
+    // the NIC. Neither exists in the baseline topology.
+    SKV_CHECK(cfg_.server_tmpl.replication_mode ==
+                      server::ReplicationMode::kFanout ||
+                  cfg_.offload,
+              "chain/quorum replication requires the SKV offload topology");
 
     server::KvServer::Transports nets{&fabric_, &tcp_, &cm_};
 
@@ -45,6 +52,9 @@ void Cluster::start() {
         NicKvConfig ncfg = cfg_.nic_cfg;
         ncfg.reliable_node_links = cfg_.server_tmpl.reliable_node_links;
         ncfg.reliable = cfg_.server_tmpl.reliable;
+        // The NIC executes the same protocol the servers were configured
+        // for (chain successor tables / quorum ack aggregation).
+        ncfg.replication_mode = cfg_.server_tmpl.replication_mode;
         nickv_ = std::make_unique<NicKv>(sim_, cfg_.costs, cm_, *nic_, ncfg);
         nickv_->set_tracer(&tracer_, "nic/" + ncfg.name);
     }

@@ -42,6 +42,7 @@ void NicKv::crash() {
     master_idx_ = -1;
     promoted_idx_ = -1;
     fanout_offset_ = 0;
+    quorum_watermark_ = 0;
     stats_.incr("crashes");
 }
 
@@ -177,6 +178,12 @@ void NicKv::handle(const net::ChannelPtr& ch, const NodeMsg& msg) {
         case NodeMsg::Type::kProbeAck:
             handle_probe_ack(ch, msg);
             break;
+        case NodeMsg::Type::kQuorumAck:
+            handle_quorum_ack(ch, msg);
+            break;
+        case NodeMsg::Type::kReadRepair:
+            handle_read_repair(msg);
+            break;
         default:
             stats_.incr("unexpected_msgs");
             break;
@@ -234,6 +241,16 @@ void NicKv::register_master(const net::ChannelPtr& ch, const NodeMsg& msg) {
         }
         publish_slave_status();
     }
+    if (cfg_.replication_mode == server::ReplicationMode::kQuorum &&
+        quorum_watermark_ > 0 && ch->open()) {
+        // A (re)attaching master learns the current commit watermark at
+        // once instead of waiting for the next ack-driven advance — parked
+        // replies it re-accumulates would otherwise stall until new writes.
+        nic_.core(0).consume(costs_.event_dispatch);
+        ch->send(NodeMsg{NodeMsg::Type::kQuorumCommit, quorum_watermark_, ""}
+                     .encode());
+    }
+    reconfigure_chain();
 }
 
 void NicKv::register_slave(const net::ChannelPtr& ch, const NodeMsg& msg) {
@@ -247,6 +264,7 @@ void NicKv::register_slave(const net::ChannelPtr& ch, const NodeMsg& msg) {
     e.channel = ch;
     e.last_heard_ns = sim_.now().ns();
     e.repl_offset = msg.field;
+    e.quorum_ack = msg.field; // registration offset = data it already holds
 
     bool was_known = false;
     if (NodeEntry* existing = find_by_name(e.name)) {
@@ -278,6 +296,10 @@ void NicKv::register_slave(const net::ChannelPtr& ch, const NodeMsg& msg) {
         }
     }
     publish_slave_status();
+    // A slave (re)joining a masterless cluster: the earlier invalidation
+    // scan may have found nobody promotable, so retry the failover now.
+    maybe_promote();
+    reconfigure_chain();
 }
 
 void NicKv::fan_out(const NodeMsg& msg) {
@@ -288,18 +310,189 @@ void NicKv::fan_out(const NodeMsg& msg) {
         tracer_->repl_fanout(msg.field, obs_track_);
     }
     fanout_offset_ = msg.field + static_cast<std::int64_t>(msg.body.size());
-    const std::string wire = msg.encode();
+    if (cfg_.replication_mode == server::ReplicationMode::kChain) {
+        chain_forward(msg);
+    } else {
+        const std::string wire = msg.encode();
+        for (auto& e : nodes_) {
+            if (e.is_master || !e.valid || !e.channel || !e.channel->open()) {
+                continue;
+            }
+            // Copy into this slave's send buffer on its assigned ARM core,
+            // then one WRITE_WITH_IMM per slave (paper Fig. 9 step 2).
+            cpu::Core& core = nic_.core(e.core_idx);
+            core.consume(costs_.jittered(rng_, costs_.nic_repl_fanout_per_slave) +
+                         costs_.copy_cost(msg.body.size()));
+            e.channel->send(wire);
+            c_fanout_sends_.incr();
+        }
+    }
+    c_repl_requests_.incr();
+    if (cfg_.replication_mode == server::ReplicationMode::kQuorum) {
+        // An injected zero-ack majority (split-brain self-test) advances the
+        // watermark on the master's copy alone, i.e. right here; for a real
+        // majority this recompute is a cheap no-op until acks arrive.
+        recompute_quorum_watermark();
+    }
+}
+
+void NicKv::chain_forward(const NodeMsg& msg) {
+    // Chain mode's fan_out: a single send to the chain head (the first
+    // valid member); members relay the frame downstream themselves, so the
+    // NIC pays one hop regardless of chain length.
     for (auto& e : nodes_) {
-        if (e.is_master || !e.valid || !e.channel || !e.channel->open()) continue;
-        // Copy into this slave's send buffer on its assigned ARM core, then
-        // one WRITE_WITH_IMM per slave (paper Fig. 9 step 2).
+        if (e.is_master || !e.valid || !e.channel || !e.channel->open()) {
+            continue;
+        }
+        cpu::Core& core = nic_.core(e.core_idx);
+        core.consume(costs_.jittered(rng_, costs_.nic_repl_fanout_per_slave) +
+                     costs_.copy_cost(msg.body.size()));
+        e.channel->send(
+            NodeMsg{NodeMsg::Type::kChainData, msg.field, msg.body}.encode());
+        c_fanout_sends_.incr();
+        return;
+    }
+    // No live member: the write stays in the master's backlog and is served
+    // to the next chain via resync; the master's commit gate holds it back
+    // from clients meanwhile.
+    stats_.incr("chain_no_head");
+}
+
+std::vector<std::string> NicKv::chain_order() const {
+    std::vector<std::string> out;
+    for (const auto& e : nodes_) {
+        if (!e.is_master && e.valid && e.channel && e.channel->open()) {
+            out.push_back(e.name);
+        }
+    }
+    return out;
+}
+
+void NicKv::request_resync(const NodeEntry& e) {
+    if (master_idx_ < 0) return;
+    auto& master = nodes_[static_cast<std::size_t>(master_idx_)];
+    if (!master.channel || !master.channel->open()) return;
+    master.channel->send(
+        NodeMsg{NodeMsg::Type::kResyncRequest, e.repl_offset, e.name}.encode());
+    stats_.incr("resyncs_requested");
+}
+
+void NicKv::reconfigure_chain() {
+    if (cfg_.replication_mode != server::ReplicationMode::kChain) return;
+    // Splice the chain from the failure detector's view: valid members in
+    // registration order, each told its successor ("" marks the tail). The
+    // assignment carries the current fan-out cursor as the member's read
+    // floor — a re-spliced-in laggard must not serve tail reads until it
+    // has applied at least that much. While the master is down the chain
+    // carries no commits (the promoted stand-in serves solo), so members
+    // are told to leave ("-"): a leased tail would otherwise keep
+    // answering reads that miss the stand-in's writes.
+    std::vector<NodeEntry*> chain;
+    for (auto& e : nodes_) {
+        if (!e.is_master && e.valid && e.channel && e.channel->open()) {
+            chain.push_back(&e);
+        }
+    }
+    const bool feeding = master_valid();
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        std::string body;
+        if (!feeding) {
+            body = "-";
+        } else if (i + 1 < chain.size()) {
+            body = chain[i + 1]->name;
+        }
+        nic_.core(0).consume(costs_.event_dispatch);
+        chain[i]->channel->send(
+            NodeMsg{NodeMsg::Type::kChainSet, fanout_offset_, body}.encode());
+    }
+    stats_.incr("chain_reconfigs");
+    // Ranges the old chain never relayed to a (re)joining member can only
+    // come from the master's backlog.
+    if (feeding) {
+        for (auto* e : chain) {
+            if (e->repl_offset < fanout_offset_) request_resync(*e);
+        }
+    }
+}
+
+int NicKv::quorum_slave_acks_needed() const {
+    if (cfg_.quorum_slave_acks_override >= 0) {
+        return cfg_.quorum_slave_acks_override;
+    }
+    // Replica set = master + every registered slave (fixed-n ABD). The
+    // master's own copy counts toward the majority, so the NIC needs
+    // majority(n) - 1 slave acks. Dead slaves stay in the denominator:
+    // shrinking it on failure would silently weaken the quorum.
+    const int replicas = 1 + static_cast<int>(slave_count());
+    return replicas / 2 + 1 - 1;
+}
+
+void NicKv::handle_quorum_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {
+    if (cfg_.replication_mode != server::ReplicationMode::kQuorum) {
+        stats_.incr("unexpected_msgs");
+        return;
+    }
+    nic_.core(0).consume(costs_.event_dispatch);
+    NodeEntry* e = find_by_channel(ch);
+    if (e == nullptr || e->is_master) return;
+    e->quorum_ack = std::max(e->quorum_ack, msg.field);
+    e->repl_offset = std::max(e->repl_offset, msg.field);
+    stats_.incr("quorum_acks");
+    recompute_quorum_watermark();
+}
+
+void NicKv::recompute_quorum_watermark() {
+    const int need = quorum_slave_acks_needed();
+    std::int64_t mark = 0;
+    if (need <= 0) {
+        // The master's copy alone is a majority (solo bootstrap, or the
+        // injected split-brain override).
+        mark = fanout_offset_;
+    } else {
+        std::vector<std::int64_t> acks;
+        for (const auto& e : nodes_) {
+            if (!e.is_master) acks.push_back(e.quorum_ack);
+        }
+        if (static_cast<int>(acks.size()) < need) return;
+        std::sort(acks.begin(), acks.end(), std::greater<>());
+        mark = acks[static_cast<std::size_t>(need - 1)];
+    }
+    if (mark <= quorum_watermark_) return;
+    quorum_watermark_ = mark;
+    if (master_idx_ < 0) return;
+    auto& master = nodes_[static_cast<std::size_t>(master_idx_)];
+    if (!master.channel || !master.channel->open()) return;
+    nic_.core(0).consume(costs_.event_dispatch);
+    master.channel->send(
+        NodeMsg{NodeMsg::Type::kQuorumCommit, quorum_watermark_, ""}.encode());
+    stats_.incr("quorum_commits");
+}
+
+void NicKv::handle_read_repair(const NodeMsg& msg) {
+    if (cfg_.replication_mode != server::ReplicationMode::kQuorum) {
+        stats_.incr("unexpected_msgs");
+        return;
+    }
+    // ABD read phase 2: the master pushed the not-yet-majority backlog
+    // suffix; re-fan it to replicas that have not acknowledged it. Overlap
+    // with data already applied is harmless (stale-skip on the slave).
+    nic_.core(0).consume(costs_.jittered(rng_, costs_.nic_repl_parse));
+    const std::int64_t end =
+        msg.field + static_cast<std::int64_t>(msg.body.size());
+    const std::string wire =
+        NodeMsg{NodeMsg::Type::kReplData, msg.field, msg.body}.encode();
+    for (auto& e : nodes_) {
+        if (e.is_master || !e.valid || !e.channel || !e.channel->open()) {
+            continue;
+        }
+        if (e.quorum_ack >= end) continue;
         cpu::Core& core = nic_.core(e.core_idx);
         core.consume(costs_.jittered(rng_, costs_.nic_repl_fanout_per_slave) +
                      costs_.copy_cost(msg.body.size()));
         e.channel->send(wire);
-        c_fanout_sends_.incr();
+        stats_.incr("read_repair_sends");
     }
-    c_repl_requests_.incr();
+    stats_.incr("read_repairs");
 }
 
 void NicKv::handle_probe_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {
@@ -309,12 +502,14 @@ void NicKv::handle_probe_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {
     if (e == nullptr) return;
     e->last_heard_ns = sim_.now().ns();
     // Body is "<role>:<offset>".
+    const std::int64_t prev = e->prev_probe_offset;
     const auto colon = msg.body.find(':');
     if (colon != std::string::npos) {
         if (const auto off = kv::string2ll(msg.body.substr(colon + 1))) {
             e->repl_offset = *off;
         }
     }
+    e->prev_probe_offset = e->repl_offset;
     if (!e->valid) {
         // Node recovered. Clear the invalid flag and, if it fell behind the
         // stream while dead, ask the master to serve it a resync.
@@ -331,16 +526,22 @@ void NicKv::handle_probe_ack(const net::ChannelPtr& ch, const NodeMsg& msg) {
                 }
                 promoted_idx_ = -1;
             }
-        } else if (e->repl_offset < fanout_offset_ && master_idx_ >= 0) {
-            auto& master = nodes_[static_cast<std::size_t>(master_idx_)];
-            if (master.channel && master.channel->open()) {
-                master.channel->send(NodeMsg{NodeMsg::Type::kResyncRequest,
-                                             e->repl_offset, e->name}
-                                         .encode());
-                stats_.incr("resyncs_requested");
-            }
+        } else if (e->repl_offset < fanout_offset_) {
+            request_resync(*e);
         }
         publish_slave_status();
+        maybe_promote(); // a slave revalidated into a masterless cluster
+        reconfigure_chain();
+    } else if (!e->is_master &&
+               cfg_.replication_mode != server::ReplicationMode::kFanout &&
+               e->repl_offset < fanout_offset_ && e->repl_offset == prev) {
+        // Chain/quorum stall healing: a valid member that made zero
+        // progress over a full probe round while behind the cursor lost
+        // data its path never re-delivers (e.g. frames relayed while its
+        // chain predecessor was dialing it). Fan-out mode is excluded — the
+        // reliable links already retransmit everything it sends.
+        request_resync(*e);
+        stats_.incr("stall_resyncs");
     }
 }
 
@@ -407,21 +608,49 @@ void NicKv::on_link_broken(const net::Channel* raw) {
     });
 }
 
-void NicKv::after_invalidation() {
-    if (master_idx_ >= 0 && !nodes_[static_cast<std::size_t>(master_idx_)].valid &&
-        promoted_idx_ < 0) {
-        // Failover: pick an available slave as the stand-in master.
+void NicKv::maybe_promote() {
+    if (master_idx_ < 0 || nodes_[static_cast<std::size_t>(master_idx_)].valid ||
+        promoted_idx_ >= 0) {
+        return;
+    }
+    // Failover: pick an available slave as the stand-in master. The
+    // choice is protocol-specific: fan-out keeps the historical
+    // first-valid pick and chain promotes its head (upstream members
+    // hold a superset of everything downstream — for fan-out the first
+    // valid slave IS the head, so the rules coincide); quorum promotes
+    // the most caught-up replica its ack aggregation knows about.
+    int pick = -1;
+    if (cfg_.replication_mode == server::ReplicationMode::kQuorum) {
+        std::int64_t best = -1;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            const auto& n = nodes_[i];
+            if (n.is_master || !n.valid || !n.channel) continue;
+            const std::int64_t off = std::max(n.quorum_ack, n.repl_offset);
+            if (off > best) {
+                best = off;
+                pick = static_cast<int>(i);
+            }
+        }
+    } else {
         for (std::size_t i = 0; i < nodes_.size(); ++i) {
             if (!nodes_[i].is_master && nodes_[i].valid && nodes_[i].channel) {
-                promoted_idx_ = static_cast<int>(i);
-                nodes_[i].channel->send(
-                    NodeMsg{NodeMsg::Type::kPromote, 0, ""}.encode());
-                stats_.incr("failovers");
+                pick = static_cast<int>(i);
                 break;
             }
         }
     }
+    if (pick >= 0) {
+        promoted_idx_ = pick;
+        nodes_[static_cast<std::size_t>(pick)].channel->send(
+            NodeMsg{NodeMsg::Type::kPromote, 0, ""}.encode());
+        stats_.incr("failovers");
+    }
+}
+
+void NicKv::after_invalidation() {
+    maybe_promote();
     publish_slave_status();
+    reconfigure_chain();
 }
 
 void NicKv::publish_slave_status() {

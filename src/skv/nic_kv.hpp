@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "rdma/cm.hpp"
+#include "server/config.hpp"
 #include "server/protocol.hpp"
 #include "server/reliable.hpp"
 #include "sim/simulation.hpp"
@@ -35,6 +36,14 @@ struct NicKvConfig {
     /// KvServer-side setting, both ends speak the same envelope).
     bool reliable_node_links = true;
     server::ReliableParams reliable{};
+    /// Which replication protocol this NIC executes (mirrors
+    /// ServerConfig::replication_mode; Cluster keeps the two in sync).
+    server::ReplicationMode replication_mode = server::ReplicationMode::kFanout;
+    /// Test-only fault injection: when >= 0, quorum mode pretends this many
+    /// slave acks constitute a majority (0 = split-brain: the watermark
+    /// advances on the master's copy alone). -1 computes the real majority
+    /// of (master + registered slaves).
+    int quorum_slave_acks_override = -1;
 };
 
 /// Nic-KV: the offloaded component running on the SmartNIC's ARM cores.
@@ -53,6 +62,12 @@ public:
         bool valid = true;
         /// Replication offset last reported by the node (probe acks).
         std::int64_t repl_offset = 0;
+        /// Quorum mode: highest offset this slave acknowledged to the NIC.
+        std::int64_t quorum_ack = 0;
+        /// Offset seen at the previous probe ack; a valid slave stuck below
+        /// the fan-out cursor across a full probe round gets a resync
+        /// (chain/quorum stall healing).
+        std::int64_t prev_probe_offset = -1;
         /// Probe bookkeeping.
         std::int64_t last_heard_ns = 0;
         std::uint64_t probe_seq = 0;
@@ -86,6 +101,10 @@ public:
     [[nodiscard]] bool master_known() const { return master_idx_ >= 0; }
     [[nodiscard]] bool master_valid() const;
     [[nodiscard]] std::int64_t fanout_offset() const { return fanout_offset_; }
+    /// Quorum mode: highest offset known replicated on a replica majority.
+    [[nodiscard]] std::int64_t quorum_watermark() const { return quorum_watermark_; }
+    /// Chain mode: names of the current chain members, head first.
+    [[nodiscard]] std::vector<std::string> chain_order() const;
     [[nodiscard]] int effective_threads() const;
     [[nodiscard]] obs::Registry& stats() { return stats_; }
 
@@ -107,8 +126,33 @@ private:
     void fan_out(const server::NodeMsg& msg);
     void handle_probe_ack(const net::ChannelPtr& ch, const server::NodeMsg& msg);
 
+    // --- chain replication (DESIGN.md §13) --------------------------------
+    /// Forward one replication frame to the chain head (chain mode's
+    /// fan_out): members relay it downstream themselves.
+    void chain_forward(const server::NodeMsg& msg);
+    /// (Re-)splice the chain from the failure detector's view and push
+    /// fresh successor assignments (kChainSet) to every member; laggards
+    /// get a master-served resync for ranges the old chain never relayed.
+    void reconfigure_chain();
+
+    // --- quorum replication (DESIGN.md §13) -------------------------------
+    void handle_quorum_ack(const net::ChannelPtr& ch, const server::NodeMsg& msg);
+    /// Re-fan a master-pushed backlog suffix (ABD read-phase write-back) to
+    /// replicas that have not yet acknowledged it.
+    void handle_read_repair(const server::NodeMsg& msg);
+    [[nodiscard]] int quorum_slave_acks_needed() const;
+    /// Recompute the majority watermark from per-slave acks and, when it
+    /// advances, release commits to the master via kQuorumCommit.
+    void recompute_quorum_watermark();
+    /// Ask the master to resync a valid-but-stalled lagging slave.
+    void request_resync(const NodeEntry& e);
+
     void probe_cycle(std::uint64_t epoch);
     void check_timeouts();
+    /// Elect a stand-in when the master is invalid and nobody has been
+    /// promoted yet — from the invalidation scan, or when a slave
+    /// (re)joins/revalidates into a masterless cluster.
+    void maybe_promote();
     /// Shared failover/publish reaction after nodes were marked invalid by
     /// the timeout scan or a broken reliable link.
     void after_invalidation();
@@ -131,6 +175,7 @@ private:
     int master_idx_ = -1;
     int promoted_idx_ = -1; // slave elevated while the master is down
     std::int64_t fanout_offset_ = 0;
+    std::int64_t quorum_watermark_ = 0;
     std::uint64_t probe_round_ = 0;
     /// Bumped on every (re)start of the probe chain so events scheduled by
     /// a pre-crash chain are ignored after recovery.

@@ -48,6 +48,9 @@ void RetryClient::next_op() {
     } else {
         op_type_ = check::OpType::kRead;
         op_value_.clear();
+        // Protocol-aware routing: aim the first read attempt at the
+        // configured target (chain tail); retries rotate as usual.
+        if (read_first_ < targets_.size()) cur_ = read_first_;
     }
     op_invoke_ns_ = sim_.now().ns();
     op_deadline_at_ = sim_.now() + policy_.op_deadline;

@@ -82,6 +82,13 @@ public:
     /// the availability bench derives recovery time from this.
     [[nodiscard]] sim::SimTime last_ok_at() const { return last_ok_at_; }
 
+    /// Protocol-aware read routing: start each read's *first* attempt at
+    /// this target index (e.g. the chain tail, which serves reads in chain
+    /// mode). Retries still rotate through every target, so a refusal
+    /// (-READONLY) falls back to the master normally. Out-of-range (the
+    /// default) leaves reads on the sticky rotation.
+    void set_read_first(std::size_t idx) { read_first_ = idx; }
+
 private:
     void next_op();
     void attempt();
@@ -110,6 +117,7 @@ private:
     std::vector<net::ChannelPtr> channels_;
     std::vector<kv::resp::ReplyParser> parsers_;
     std::size_t cur_ = 0; // sticky: next op starts at the last good target
+    std::size_t read_first_ = SIZE_MAX; // see set_read_first()
 
     // Current operation.
     bool op_active_ = false;

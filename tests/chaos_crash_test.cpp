@@ -1,10 +1,10 @@
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "chaos_support.hpp"
 #include "check/history.hpp"
 #include "check/linearize.hpp"
 #include "kv/resp.hpp"
@@ -15,175 +15,13 @@
 namespace skv::offload {
 namespace {
 
-/// Crash-chaos cluster: SKV topology with a fast failure detector (so
-/// failover completes well inside client op deadlines), immediate apply
-/// acks, commit gating on one replica, and linearizable read routing
-/// (replicas refuse reads, so retrying clients always find the master).
-struct CrashClusterOpts {
-    int n_slaves = 2;
-    int wait_for_slaves = 1;
-    sim::Duration persist_interval{};
-    bool serve_stale_reads = false;
-    sim::Duration waiting_time{sim::milliseconds(450)};
-};
-
-std::unique_ptr<Cluster> make_crash_cluster(std::uint64_t seed,
-                                            const CrashClusterOpts& o = {}) {
-    ClusterConfig cfg;
-    cfg.seed = seed;
-    cfg.n_slaves = o.n_slaves;
-    cfg.offload = true;
-    cfg.nic_cfg.probe_interval = sim::milliseconds(200);
-    cfg.nic_cfg.waiting_time = o.waiting_time;
-    cfg.server_tmpl.ack_interval = sim::milliseconds(20);
-    cfg.server_tmpl.ack_on_apply = true;
-    cfg.server_tmpl.wait_for_slaves = o.wait_for_slaves;
-    cfg.server_tmpl.wait_timeout = sim::milliseconds(150);
-    cfg.server_tmpl.serve_stale_reads = o.serve_stale_reads;
-    cfg.server_tmpl.persist_interval = o.persist_interval;
-    cfg.server_tmpl.probe_silence_timeout = sim::seconds(1);
-    auto c = std::make_unique<Cluster>(cfg);
-    c->tracer().set_enabled(true);
-    c->start();
-    return c;
-}
-
-/// A fleet of retrying clients sharing one recorded history.
-struct Fleet {
-    check::History history;
-    std::vector<std::shared_ptr<workload::RetryClient>> clients;
-    std::uint64_t ops_issued = 0;
-
-    /// `turnaround` paces the clients so the workload genuinely overlaps
-    /// the injected faults instead of finishing before the first crash.
-    void spawn(Cluster& c, int n, std::uint64_t ops_each, double set_ratio,
-               sim::Duration turnaround = sim::milliseconds(25)) {
-        std::vector<workload::RetryClient::Target> targets;
-        targets.push_back({c.master().node().ep, c.master().config().port});
-        for (int i = 0; i < c.slave_count(); ++i) {
-            targets.push_back(
-                {c.slave(i).node().ep, c.slave(i).config().port});
-        }
-        auto dial = [&c](net::NodeRef from, workload::RetryClient::Target t,
-                         std::function<void(net::ChannelPtr)> cb) {
-            c.cm().connect(from, t.ep, t.port, std::move(cb));
-        };
-        workload::RetryPolicy pol;
-        pol.attempt_timeout = sim::milliseconds(120);
-        pol.op_deadline = sim::seconds(4);
-        pol.turnaround = turnaround;
-        for (int i = 0; i < n; ++i) {
-            workload::WorkloadSpec spec;
-            spec.set_ratio = set_ratio;
-            spec.key_count = 8; // small keyspace: real read/write contention
-            spec.value_bytes = 16;
-            spec.key_prefix = "ck:";
-            workload::Generator gen(spec, c.sim().fork_rng());
-            auto node = c.add_client_host("rc" + std::to_string(i));
-            clients.push_back(std::make_shared<workload::RetryClient>(
-                c.sim(), c.costs(), node, 100 + static_cast<std::uint64_t>(i),
-                std::move(gen), pol, targets, dial, &history));
-        }
-        for (auto& cl : clients) cl->start(ops_each);
-        ops_issued += static_cast<std::uint64_t>(n) * ops_each;
-    }
-
-    [[nodiscard]] bool all_idle() const {
-        for (const auto& cl : clients) {
-            if (!cl->idle()) return false;
-        }
-        return true;
-    }
-
-    /// Run the sim until every client finished its ops. Returning false
-    /// means a client hung — itself an acceptance failure.
-    [[nodiscard]] bool drain(Cluster& c, sim::Duration cap) {
-        const auto stop = c.sim().now() + cap;
-        while (c.sim().now() < stop) {
-            if (all_idle()) return true;
-            c.sim().run_until(c.sim().now() + sim::milliseconds(20));
-        }
-        return all_idle();
-    }
-
-    [[nodiscard]] std::uint64_t ok() const {
-        std::uint64_t n = 0;
-        for (const auto& cl : clients) n += cl->ops_ok();
-        return n;
-    }
-
-    /// Nonzero retries prove the workload was live while faults were in.
-    [[nodiscard]] std::uint64_t total_retries() const {
-        std::uint64_t n = 0;
-        for (const auto& cl : clients) n += cl->retries();
-        return n;
-    }
-};
-
-/// The linearizability gate. On violation the raw history is dumped to
-/// chaos_history_<seed>.json (CI uploads it together with the chrome
-/// trace) so the offending schedule can be replayed offline.
-void gate_linearizable(Cluster& c, const check::History& hist,
-                       const std::string& tag) {
-    const auto res = check::check_history(hist);
-    EXPECT_FALSE(res.budget_exhausted) << tag << ": checker budget exhausted";
-    if (!res.linearizable) {
-        char path[64];
-        std::snprintf(path, sizeof(path), "chaos_history_%016llx.json",
-                      static_cast<unsigned long long>(c.sim().seed()));
-        if (std::FILE* f = std::fopen(path, "wb")) {
-            const std::string json = hist.to_json();
-            std::fwrite(json.data(), 1, json.size(), f);
-            std::fclose(f);
-            std::fprintf(
-                stderr,
-                "[chaos-audit] non-linearizable history written to %s\n",
-                path);
-        }
-    }
-    EXPECT_TRUE(res.linearizable) << tag << ": " << res.reason;
-}
-
-/// Minimal synchronous command shell over a raw channel, for tests that
-/// need precise control over which node serves which request.
-class RawConn {
-public:
-    RawConn(Cluster& c, net::EndpointId ep, std::uint16_t port,
-            const std::string& name)
-        : cluster_(c) {
-        node_ = c.add_client_host(name);
-        c.cm().connect(node_, ep, port, [this](net::ChannelPtr ch) {
-            ch_ = std::move(ch);
-            ch_->set_on_message([this](std::string payload) {
-                parser_.feed(payload);
-            });
-        });
-        c.sim().run_until(c.sim().now() + sim::milliseconds(20));
-    }
-
-    [[nodiscard]] bool connected() const { return ch_ != nullptr; }
-
-    /// Send and wait (bounded) for the reply.
-    kv::resp::Value call(const std::vector<std::string>& argv,
-                         sim::Duration timeout = sim::seconds(2)) {
-        ch_->send(kv::resp::command(argv));
-        const auto stop = cluster_.sim().now() + timeout;
-        kv::resp::Value v;
-        while (cluster_.sim().now() < stop) {
-            if (parser_.next(&v) == kv::resp::Status::kOk) return v;
-            cluster_.sim().run_until(cluster_.sim().now() +
-                                     sim::milliseconds(1));
-        }
-        ADD_FAILURE() << "no reply to " << argv[0] << " within timeout";
-        return v;
-    }
-
-private:
-    Cluster& cluster_;
-    net::NodeRef node_;
-    net::ChannelPtr ch_;
-    kv::resp::ReplyParser parser_;
-};
+// The cluster factory, client fleet, linearizability gate, and raw shell
+// live in chaos_support.hpp, shared with the protocol-matrix suite.
+using chaos::CrashClusterOpts;
+using chaos::Fleet;
+using chaos::RawConn;
+using chaos::gate_linearizable;
+using chaos::make_crash_cluster;
 
 // ---------------------------------------------------------------------------
 // Scenario 1: master crash + failover. The master dies mid-workload and
@@ -216,8 +54,7 @@ TEST(ChaosCrash, MasterCrashFailoverLinearizable) {
             if (cl->last_ok_at() > crash_at) ok_after_crash = true;
         }
         EXPECT_TRUE(ok_after_crash) << "seed " << seed;
-        gate_linearizable(*c, fleet.history,
-                          "master-crash seed " + std::to_string(seed));
+        gate_linearizable(*c, fleet.history, "master-crash");
     }
 }
 
@@ -241,8 +78,7 @@ TEST(ChaosCrash, SlaveCrashDuringFanoutLinearizable) {
         // Gating was actually exercised.
         EXPECT_GT(c->master().stats().counter("writes_parked"), 0u)
             << "seed " << seed;
-        gate_linearizable(*c, fleet.history,
-                          "slave-crash seed " + std::to_string(seed));
+        gate_linearizable(*c, fleet.history, "slave-crash");
         // The restarted slave rejoins and converges.
         c->sim().run_until(c->sim().now() + sim::seconds(8));
         EXPECT_TRUE(c->converged()) << "seed " << seed;
@@ -275,8 +111,7 @@ TEST(ChaosCrash, CrashPlusPartitionLinearizable) {
 
         ASSERT_TRUE(fleet.drain(*c, sim::seconds(60))) << "seed " << seed;
         EXPECT_EQ(fleet.history.size(), fleet.ops_issued) << "seed " << seed;
-        gate_linearizable(*c, fleet.history,
-                          "crash+partition seed " + std::to_string(seed));
+        gate_linearizable(*c, fleet.history, "crash+partition");
         c->sim().run_until(c->sim().now() + sim::seconds(10));
         EXPECT_TRUE(c->converged()) << "seed " << seed;
     }
@@ -302,8 +137,7 @@ TEST(ChaosCrash, RestartStormLinearizable) {
         EXPECT_EQ(fleet.history.size(), fleet.ops_issued) << "seed " << seed;
         EXPECT_EQ(c->master().role(), server::Role::kMaster)
             << "seed " << seed;
-        gate_linearizable(*c, fleet.history,
-                          "restart-storm seed " + std::to_string(seed));
+        gate_linearizable(*c, fleet.history, "restart-storm");
         c->sim().run_until(c->sim().now() + sim::seconds(10));
         EXPECT_TRUE(c->converged()) << "seed " << seed;
     }
@@ -328,8 +162,7 @@ TEST(ChaosCrash, ColdRestartStormRecoversFromSnapshot) {
 
         ASSERT_TRUE(fleet.drain(*c, sim::seconds(90))) << "seed " << seed;
         EXPECT_EQ(fleet.history.size(), fleet.ops_issued) << "seed " << seed;
-        gate_linearizable(*c, fleet.history,
-                          "cold-storm seed " + std::to_string(seed));
+        gate_linearizable(*c, fleet.history, "cold-storm");
 
         c->sim().run_until(c->sim().now() + sim::seconds(10));
         EXPECT_TRUE(c->converged()) << "seed " << seed;

@@ -212,5 +212,101 @@ TEST_P(ReplConvergenceTest, RandomStreamConverges) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplConvergenceTest,
                          ::testing::Values(101u, 202u, 303u, 404u));
 
+/// WSEQ duplicate-suppression table: bounded by dup_table_max with LRU
+/// eviction, and evictions are replicated so replica tables track the
+/// master's in exact lockstep (a promoted stand-in must agree on which
+/// retries are still suppressed).
+class DupTableLruTest : public ::testing::Test {
+protected:
+    std::unique_ptr<Cluster> make(std::size_t cap) {
+        ClusterConfig cfg;
+        cfg.seed = 7;
+        cfg.n_slaves = 1;
+        cfg.offload = false;
+        cfg.server_tmpl.dup_table_max = cap;
+        auto c = std::make_unique<Cluster>(cfg);
+        c->start();
+        return c;
+    }
+
+    /// Send commands in order on one connection and let them all land.
+    void run_commands(Cluster& c,
+                      const std::vector<std::vector<std::string>>& cmds) {
+        auto node = c.add_client_host("dup-tester");
+        net::ChannelPtr ch;
+        c.connect_client(node, [&](net::ChannelPtr x) { ch = std::move(x); });
+        c.sim().run_until(c.sim().now() + sim::milliseconds(10));
+        ASSERT_TRUE(ch);
+        ch->set_on_message([](std::string) {});
+        for (const auto& cmd : cmds) ch->send(kv::resp::command(cmd));
+        c.sim().run_until(c.sim().now() + sim::milliseconds(200));
+    }
+
+    static std::vector<std::string> tagged_set(std::uint64_t client,
+                                               std::uint64_t seq) {
+        return {"WSEQ", std::to_string(client), std::to_string(seq),
+                "SET", "dk" + std::to_string(client), "v"};
+    }
+};
+
+TEST_F(DupTableLruTest, CapEvictsLeastRecentClient) {
+    auto c = make(/*cap=*/4);
+    std::vector<std::vector<std::string>> cmds;
+    for (std::uint64_t cl = 1; cl <= 8; ++cl) cmds.push_back(tagged_set(cl, 1));
+    run_commands(*c, cmds);
+
+    EXPECT_EQ(c->master().dup_entries(), 4u);
+    EXPECT_EQ(c->master().stats().counter("dup_evictions"), 4u);
+    for (std::uint64_t cl = 1; cl <= 4; ++cl) {
+        EXPECT_FALSE(c->master().dup_has(cl)) << "client " << cl;
+    }
+    for (std::uint64_t cl = 5; cl <= 8; ++cl) {
+        EXPECT_TRUE(c->master().dup_has(cl)) << "client " << cl;
+    }
+}
+
+TEST_F(DupTableLruTest, RetryTouchKeepsLiveClientResident) {
+    auto c = make(/*cap=*/4);
+    std::vector<std::vector<std::string>> cmds;
+    for (std::uint64_t cl = 1; cl <= 4; ++cl) cmds.push_back(tagged_set(cl, 1));
+    // Client 1 retries its write mid-stream: the dup hit must refresh its
+    // LRU position (and never re-apply the command).
+    cmds.push_back(tagged_set(1, 1));
+    for (std::uint64_t cl = 5; cl <= 7; ++cl) cmds.push_back(tagged_set(cl, 1));
+    run_commands(*c, cmds);
+
+    EXPECT_EQ(c->master().stats().counter("dup_suppressed"), 1u);
+    EXPECT_EQ(c->master().stats().counter("dup_evictions"), 3u);
+    EXPECT_TRUE(c->master().dup_has(1)) << "live retrier was evicted";
+    for (std::uint64_t cl = 2; cl <= 4; ++cl) {
+        EXPECT_FALSE(c->master().dup_has(cl)) << "client " << cl;
+    }
+    // The retry replayed the cached result: the write applied exactly once.
+    EXPECT_EQ(c->master().stats().counter("repl_sends"),
+              7u + 3u); // 7 writes + 3 replicated evictions
+}
+
+TEST_F(DupTableLruTest, ReplicaTableTracksMasterInLockstep) {
+    auto c = make(/*cap=*/4);
+    std::vector<std::vector<std::string>> cmds;
+    for (std::uint64_t cl = 1; cl <= 4; ++cl) cmds.push_back(tagged_set(cl, 1));
+    cmds.push_back(tagged_set(2, 1)); // touch: master-side LRU refresh only
+    for (std::uint64_t cl = 5; cl <= 7; ++cl) cmds.push_back(tagged_set(cl, 1));
+    run_commands(*c, cmds);
+    ASSERT_TRUE(c->converged());
+
+    // The replica never runs its own LRU scan — it obeys the replicated
+    // WSEQEVICT stream — so even though the touch that saved client 2 was
+    // invisible to it, its table is byte-for-byte the master's.
+    EXPECT_EQ(c->slave(0).stats().counter("dup_evictions_applied"),
+              c->master().stats().counter("dup_evictions"));
+    EXPECT_EQ(c->slave(0).dup_entries(), c->master().dup_entries());
+    for (std::uint64_t cl = 1; cl <= 7; ++cl) {
+        EXPECT_EQ(c->slave(0).dup_has(cl), c->master().dup_has(cl))
+            << "client " << cl;
+    }
+    EXPECT_TRUE(c->master().dup_has(2)) << "touched client should survive";
+}
+
 } // namespace
 } // namespace skv::server
