@@ -737,7 +737,7 @@ void KvServer::serve_initial_sync(const std::string& slave_name,
     stats_.incr("sync_full");
 }
 
-void KvServer::connect_and_sync_slave(std::string slave_name,
+void KvServer::connect_and_sync_slave(const std::string& slave_name,
                                       std::int64_t offset) {
     // SKV master, paper Fig. 8 step 3: establish a direct RDMA connection
     // to the slave and serve the initial synchronization over it. No retry
@@ -1188,6 +1188,7 @@ void KvServer::chain_forward_frame(std::int64_t offset,
     }
 }
 
+// simlint3:observe-only
 bool KvServer::chain_read_ok() const {
     if (cfg_.replication_mode != ReplicationMode::kChain) return false;
     if (role_ != Role::kSlave || !chain_member_ || !chain_is_tail_) return false;

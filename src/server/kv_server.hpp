@@ -206,7 +206,8 @@ private:
     void handle_node_msg(const ClientPtr& conn, const NodeMsg& msg);
     void serve_initial_sync(const std::string& slave_name,
                             std::int64_t slave_offset, net::ChannelPtr direct);
-    void connect_and_sync_slave(std::string slave_name, std::int64_t offset);
+    void connect_and_sync_slave(const std::string& slave_name,
+                                std::int64_t offset);
 
     // -- replication (slave side)
     void apply_repl_stream(std::int64_t start_offset, const std::string& bytes);

@@ -17,29 +17,14 @@ std::optional<NodeMsg> NodeMsg::decode(std::string_view wire) {
     if (wire.size() < 9) return std::nullopt;
     NodeMsg m;
     m.type = static_cast<Type>(wire[0]);
-    switch (m.type) {
-        case Type::kInitSync:
-        case Type::kSyncNotify:
-        case Type::kFullSync:
-        case Type::kBacklog:
-        case Type::kReplData:
-        case Type::kAck:
-        case Type::kProbe:
-        case Type::kProbeAck:
-        case Type::kResyncRequest:
-        case Type::kPromote:
-        case Type::kDemote:
-        case Type::kSync:
-        case Type::kSlaveCount:
-        case Type::kChainSet:
-        case Type::kChainData:
-        case Type::kQuorumAck:
-        case Type::kQuorumCommit:
-        case Type::kReadRepair:
+    bool known = false;
+    for (const Type t : kNodeMsgTypes) {
+        if (t == m.type) {
+            known = true;
             break;
-        default:
-            return std::nullopt;
+        }
     }
+    if (!known) return std::nullopt;
     std::uint64_t f = 0;
     for (int i = 0; i < 8; ++i) {
         f |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(

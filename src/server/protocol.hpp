@@ -87,6 +87,23 @@ struct NodeMsg {
     static std::optional<NodeMsg> decode(std::string_view wire);
 };
 
+/// Every NodeMsg::Type, exactly once. decode() validates incoming tag bytes
+/// against this list and the protocol tests derive tag-uniqueness and
+/// round-trip coverage from it, so a new enum value only needs to be added
+/// here (simlint3's unhandled-tag rule fails the build if the list or any
+/// dispatch switch goes stale).
+inline constexpr NodeMsg::Type kNodeMsgTypes[] = {
+    NodeMsg::Type::kInitSync,   NodeMsg::Type::kSyncNotify,
+    NodeMsg::Type::kFullSync,   NodeMsg::Type::kBacklog,
+    NodeMsg::Type::kReplData,   NodeMsg::Type::kAck,
+    NodeMsg::Type::kProbe,      NodeMsg::Type::kProbeAck,
+    NodeMsg::Type::kResyncRequest, NodeMsg::Type::kPromote,
+    NodeMsg::Type::kDemote,     NodeMsg::Type::kSync,
+    NodeMsg::Type::kSlaveCount, NodeMsg::Type::kChainSet,
+    NodeMsg::Type::kChainData,  NodeMsg::Type::kQuorumAck,
+    NodeMsg::Type::kQuorumCommit, NodeMsg::Type::kReadRepair,
+};
+
 /// Duplicate-suppression token for client write retries. A retrying client
 /// prefixes each write with `WSEQ <client> <seq>`; a server that already
 /// executed (client, seq) replays the cached reply instead of re-applying

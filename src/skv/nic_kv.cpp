@@ -167,6 +167,9 @@ void NicKv::handle(const net::ChannelPtr& ch, const NodeMsg& msg) {
             // "master:<name>@<ep>" — the master Host-KV attaching.
             if (msg.body.rfind("master:", 0) == 0) {
                 register_master(ch, msg);
+            } else {
+                // Baseline slave->master kSync never targets the NIC.
+                stats_.incr("unexpected_msgs");
             }
             break;
         case NodeMsg::Type::kInitSync:
@@ -184,7 +187,21 @@ void NicKv::handle(const net::ChannelPtr& ch, const NodeMsg& msg) {
         case NodeMsg::Type::kReadRepair:
             handle_read_repair(msg);
             break;
-        default:
+        // The NIC originates these (or they flow host<->host around it) and
+        // must never receive them; each is named so that adding an enum
+        // value forces a decision here (simlint3 unhandled-tag).
+        case NodeMsg::Type::kSyncNotify:
+        case NodeMsg::Type::kFullSync:
+        case NodeMsg::Type::kBacklog:
+        case NodeMsg::Type::kAck:
+        case NodeMsg::Type::kProbe:
+        case NodeMsg::Type::kResyncRequest:
+        case NodeMsg::Type::kPromote:
+        case NodeMsg::Type::kDemote:
+        case NodeMsg::Type::kSlaveCount:
+        case NodeMsg::Type::kChainSet:
+        case NodeMsg::Type::kChainData:
+        case NodeMsg::Type::kQuorumCommit:
             stats_.incr("unexpected_msgs");
             break;
     }
@@ -358,6 +375,7 @@ void NicKv::chain_forward(const NodeMsg& msg) {
     stats_.incr("chain_no_head");
 }
 
+// simlint3:observe-only
 std::vector<std::string> NicKv::chain_order() const {
     std::vector<std::string> out;
     for (const auto& e : nodes_) {

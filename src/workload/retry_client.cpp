@@ -122,7 +122,8 @@ void RetryClient::send_on(std::size_t tidx) {
     channels_[tidx]->send(kv::resp::command(argv));
 }
 
-void RetryClient::on_channel_message(std::size_t tidx, std::string payload) {
+void RetryClient::on_channel_message(std::size_t tidx,
+                                     const std::string& payload) {
     parsers_[tidx].feed(payload);
     kv::resp::Value v;
     for (;;) {

@@ -93,7 +93,7 @@ private:
     void next_op();
     void attempt();
     void send_on(std::size_t tidx);
-    void on_channel_message(std::size_t tidx, std::string payload);
+    void on_channel_message(std::size_t tidx, const std::string& payload);
     void handle_reply(const kv::resp::Value& v);
     void on_attempt_timeout(std::uint64_t epoch);
     void retry(bool rotate);

@@ -1,24 +1,48 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "server/protocol.hpp"
 
 namespace skv::server {
 namespace {
 
+// Driven by kNodeMsgTypes so a newly added enum value is covered the moment
+// it lands in the authoritative list (and simlint3's unhandled-tag rule
+// fails if the list itself goes stale).
 TEST(NodeMsg, RoundTripAllTypes) {
-    for (const auto type :
-         {NodeMsg::Type::kInitSync, NodeMsg::Type::kSyncNotify,
-          NodeMsg::Type::kFullSync, NodeMsg::Type::kBacklog,
-          NodeMsg::Type::kReplData, NodeMsg::Type::kAck, NodeMsg::Type::kProbe,
-          NodeMsg::Type::kProbeAck, NodeMsg::Type::kResyncRequest,
-          NodeMsg::Type::kPromote, NodeMsg::Type::kDemote, NodeMsg::Type::kSync,
-          NodeMsg::Type::kSlaveCount}) {
+    for (const auto type : kNodeMsgTypes) {
         NodeMsg m{type, 0x1122334455667788LL, "payload bytes"};
         const auto decoded = NodeMsg::decode(m.encode());
         ASSERT_TRUE(decoded.has_value());
         EXPECT_EQ(decoded->type, type);
         EXPECT_EQ(decoded->field, 0x1122334455667788LL);
         EXPECT_EQ(decoded->body, "payload bytes");
+    }
+}
+
+TEST(NodeMsg, TagCharsAreUnique) {
+    // A colliding tag byte would silently misroute frames: decode() keys on
+    // the first wire byte alone.
+    std::set<char> seen;
+    for (const auto type : kNodeMsgTypes) {
+        const char tag = static_cast<char>(type);
+        EXPECT_TRUE(seen.insert(tag).second)
+            << "duplicate NodeMsg tag char '" << tag << "'";
+    }
+    EXPECT_EQ(seen.size(), std::size(kNodeMsgTypes));
+}
+
+TEST(NodeMsg, DecodeAcceptsExactlyTheListedTags) {
+    std::set<char> valid;
+    for (const auto type : kNodeMsgTypes) valid.insert(static_cast<char>(type));
+    for (int c = 0; c < 256; ++c) {
+        std::string wire(9, '\0');
+        wire[0] = static_cast<char>(c);
+        const auto d = NodeMsg::decode(wire);
+        EXPECT_EQ(d.has_value(), valid.count(static_cast<char>(c)) != 0)
+            << "tag byte " << c;
+        if (d) EXPECT_EQ(static_cast<char>(d->type), static_cast<char>(c));
     }
 }
 

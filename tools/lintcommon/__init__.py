@@ -1,0 +1,258 @@
+"""lintcommon — shared plumbing for the repository's lint passes.
+
+The three checkers (tools/simlint: determinism, tools/simlint2:
+ownership/lifetime, tools/simlint3: protocol conformance) share the same
+operational shape: a compile_commands.json-driven file list with a header
+sweep, comment/string-stripped source lines, per-line
+`// <tool>:allow(<rule>) <reason>` suppressions with a mandatory reason,
+findings printed as `file:line: [rule] message`, and exit status
+0 clean / 1 findings / 2 usage error. This module is that shape, factored
+out once; each tool contributes only its rules and extraction passes.
+
+Nothing here imports outside the standard library — the text frontends of
+all three tools must run on a bare python3.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "strip_code",
+    "files_from_compile_commands",
+    "match_paren",
+    "split_top_commas",
+    "line_index",
+    "report",
+]
+
+
+class Finding:
+    """One lint finding. Subclass per tool with `rules` set to the tool's
+    rule->message dict so construction sites stay `Finding(path, line,
+    rule, detail)`."""
+
+    rules: dict[str, str] = {}
+
+    def __init__(self, path: Path, line: int, rule: str, detail: str = ""):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.detail = detail
+
+    def __str__(self) -> str:
+        msg = self.rules.get(self.rule, self.rule)
+        if self.detail:
+            msg = f"{msg} ({self.detail})"
+        return f"{self.path}:{self.line}: [{self.rule}] {msg}"
+
+
+def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blank out string/char literals and comments so rule regexes only see
+    code. Returns (code, still_in_block_comment). Column positions are
+    preserved so findings stay on the right line."""
+    out = []
+    i = 0
+    n = len(line)
+    state = "block" if in_block_comment else "code"
+    while i < n:
+        c = line[i]
+        if state == "code":
+            if c == '"':
+                # raw strings R"( ... )" are rare here; handle the plain form
+                out.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        out.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == '"':
+                        out.append(" ")
+                        i += 1
+                        break
+                    out.append(" ")
+                    i += 1
+                continue
+            if c == "'":
+                out.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        out.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == "'":
+                        out.append(" ")
+                        i += 1
+                        break
+                    out.append(" ")
+                    i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                out.append(" " * (n - i))
+                i = n
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c)
+            i += 1
+        else:  # block comment
+            if c == "*" and i + 1 < n and line[i + 1] == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            i += 1
+    return "".join(out), state == "block"
+
+
+class SourceFile:
+    """One parsed file: raw lines, comment-stripped lines, suppressions.
+
+    `tool` names the allow-comment namespace (`// simlint3:allow(...)`)
+    and the stderr prefix; `rules` is the tool's rule->message dict used
+    to validate allow-comments. Unknown rule names and missing reasons in
+    allow-comments are configuration errors (exit 2), not findings — a
+    suppression that silently fails to parse would un-suppress itself on
+    the next run."""
+
+    def __init__(self, path: Path, tool: str, rules: dict[str, str]):
+        self.path = path
+        allow_re = re.compile(rf"//\s*{re.escape(tool)}:allow\(([\w-]+)\)\s*(.*)")
+        try:
+            self.raw = path.read_text(errors="replace").split("\n")
+        except OSError as e:
+            print(f"{tool}: cannot read {path}: {e}", file=sys.stderr)
+            sys.exit(2)
+        self.code: list[str] = []
+        self.allows: dict[int, str] = {}
+        in_block = False
+        for lineno, line in enumerate(self.raw, 1):
+            am = allow_re.search(line)
+            if am:
+                rule, reason = am.group(1), am.group(2).strip()
+                if rule not in rules:
+                    print(
+                        f"{path}:{lineno}: {tool}:allow names unknown rule "
+                        f"'{rule}' (known: {', '.join(sorted(rules))})",
+                        file=sys.stderr,
+                    )
+                    sys.exit(2)
+                if not reason:
+                    print(
+                        f"{path}:{lineno}: {tool}:allow({rule}) is missing "
+                        f"the mandatory reason text",
+                        file=sys.stderr,
+                    )
+                    sys.exit(2)
+                self.allows[lineno] = rule
+            stripped, in_block = strip_code(line, in_block)
+            self.code.append(stripped)
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        return (self.allows.get(lineno) == rule
+                or self.allows.get(lineno - 1) == rule)
+
+
+def files_from_compile_commands(db_path: Path, src_root: Path,
+                                tool: str) -> list[Path]:
+    """File list for a whole-tree run: every TU under src_root that appears
+    in the compile database, plus a header sweep (headers never appear in
+    the database but carry declarations the linters must see)."""
+    try:
+        entries = json.loads(db_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{tool}: cannot load {db_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    root = src_root.resolve()
+    out: set[Path] = set()
+    for entry in entries:
+        f = Path(entry["directory"], entry["file"]).resolve() \
+            if not Path(entry["file"]).is_absolute() else Path(entry["file"])
+        try:
+            f.relative_to(root)
+        except ValueError:
+            continue
+        out.add(f)
+    for h in root.rglob("*.hpp"):
+        out.add(h.resolve())
+    for h in root.rglob("*.h"):
+        out.add(h.resolve())
+    return sorted(out)
+
+
+def match_paren(text: str, open_idx: int) -> int:
+    """Index of the char matching text[open_idx] ('(' or '[' or '{')."""
+    pairs = {"(": ")", "[": "]", "{": "}"}
+    close = pairs[text[open_idx]]
+    opener = text[open_idx]
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == opener:
+            depth += 1
+        elif text[i] == close:
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def split_top_commas(text: str) -> list[str]:
+    out, depth, cur = [], 0, []
+    for c in text:
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth -= 1
+        if c == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    if cur:
+        out.append("".join(cur))
+    return out
+
+
+def line_index(text: str):
+    """Offset -> 1-based line number lookup over a joined file text."""
+    starts = [0]
+    for i, c in enumerate(text):
+        if c == "\n":
+            starts.append(i + 1)
+
+    def line_of(offset: int) -> int:
+        lo, hi = 0, len(starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    return line_of
+
+
+def report(findings: list[Finding], file_count: int, tool: str) -> int:
+    """Print findings (sorted for stable output) and the summary line;
+    return the process exit status."""
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    for fi in findings:
+        print(fi)
+    if findings:
+        print(f"{tool}: {len(findings)} finding(s) in {file_count} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"{tool}: clean ({file_count} files)", file=sys.stderr)
+    return 0

@@ -40,10 +40,12 @@ Exit status: 0 clean, 1 findings, 2 usage/configuration error.
 from __future__ import annotations
 
 import argparse
-import json
 import re
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+import lintcommon
 
 # ---------------------------------------------------------------------------
 # Rule definitions
@@ -91,8 +93,6 @@ STDOUT_IO = re.compile(
 
 UNORDERED_DECL = re.compile(r"(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
 
-ALLOW = re.compile(r"//\s*simlint:allow\(([\w-]+)\)\s*(.*)")
-
 RULES = {
     "raw-rng": "raw RNG source; use sim::Rng (src/sim/rng.hpp) so results are seed-determined",
     "wall-clock": "wall-clock read; sim code must use sim::SimTime (src/sim/time.hpp)",
@@ -112,82 +112,8 @@ EXEMPT = {
 }
 
 
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, detail: str = ""):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.detail = detail
-
-    def __str__(self) -> str:
-        msg = RULES[self.rule]
-        if self.detail:
-            msg = f"{msg} ({self.detail})"
-        return f"{self.path}:{self.line}: [{self.rule}] {msg}"
-
-
-def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
-    """Blank out string/char literals and comments so rule regexes only see
-    code. Returns (code, still_in_block_comment). Column positions are
-    preserved so findings stay on the right line."""
-    out = []
-    i = 0
-    n = len(line)
-    state = "block" if in_block_comment else "code"
-    while i < n:
-        c = line[i]
-        if state == "code":
-            if c == '"':
-                # raw strings R"( ... )" are rare here; handle the plain form
-                out.append(" ")
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        out.append("  ")
-                        i += 2
-                        continue
-                    if line[i] == '"':
-                        out.append(" ")
-                        i += 1
-                        break
-                    out.append(" ")
-                    i += 1
-                continue
-            if c == "'":
-                out.append(" ")
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        out.append("  ")
-                        i += 2
-                        continue
-                    if line[i] == "'":
-                        out.append(" ")
-                        i += 1
-                        break
-                    out.append(" ")
-                    i += 1
-                continue
-            if c == "/" and i + 1 < n and line[i + 1] == "/":
-                out.append(" " * (n - i))
-                i = n
-                continue
-            if c == "/" and i + 1 < n and line[i + 1] == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c)
-            i += 1
-        else:  # block comment
-            if c == "*" and i + 1 < n and line[i + 1] == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(" ")
-            i += 1
-    return "".join(out), state == "block"
+class Finding(lintcommon.Finding):
+    rules = RULES
 
 
 def exempt(rule: str, path: Path) -> bool:
@@ -231,42 +157,9 @@ def unordered_names(code_lines: list[str]) -> set[str]:
 
 
 def check_file(path: Path, library_code: bool) -> list[Finding]:
-    try:
-        raw_lines = path.read_text(errors="replace").split("\n")
-    except OSError as e:
-        print(f"simlint: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
-
-    # Pass 1: collect suppressions and comment-stripped code.
-    allows: dict[int, str] = {}  # line no -> rule
+    sf = lintcommon.SourceFile(path, "simlint", RULES)
     findings: list[Finding] = []
-    code_lines: list[str] = []
-    in_block = False
-    for lineno, line in enumerate(raw_lines, 1):
-        am = ALLOW.search(line)
-        if am:
-            rule, reason = am.group(1), am.group(2).strip()
-            if rule not in RULES:
-                # Unknown rule names are configuration errors, not findings.
-                print(
-                    f"{path}:{lineno}: simlint:allow names unknown rule "
-                    f"'{rule}' (known: {', '.join(sorted(RULES))})",
-                    file=sys.stderr,
-                )
-                sys.exit(2)
-            if not reason:
-                print(
-                    f"{path}:{lineno}: simlint:allow({rule}) is missing the "
-                    f"mandatory reason text",
-                    file=sys.stderr,
-                )
-                sys.exit(2)
-            allows[lineno] = rule
-        code, in_block = strip_code(line, in_block)
-        code_lines.append(code)
-
-    def suppressed(lineno: int, rule: str) -> bool:
-        return allows.get(lineno) == rule or allows.get(lineno - 1) == rule
+    code_lines = sf.code
 
     unordered = unordered_names(code_lines)
 
@@ -274,7 +167,7 @@ def check_file(path: Path, library_code: bool) -> list[Finding]:
 
     for lineno, code in enumerate(code_lines, 1):
         def report(rule: str, detail: str = "") -> None:
-            if exempt(rule, path) or suppressed(lineno, rule):
+            if exempt(rule, path) or sf.suppressed(lineno, rule):
                 return
             if (lineno, rule) in seen:
                 return
@@ -307,27 +200,7 @@ def check_file(path: Path, library_code: bool) -> list[Finding]:
 
 
 def files_from_compile_commands(db_path: Path, src_root: Path) -> list[Path]:
-    try:
-        entries = json.loads(db_path.read_text())
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"simlint: cannot load {db_path}: {e}", file=sys.stderr)
-        sys.exit(2)
-    root = src_root.resolve()
-    out: set[Path] = set()
-    for entry in entries:
-        f = Path(entry["directory"], entry["file"]).resolve() \
-            if not Path(entry["file"]).is_absolute() else Path(entry["file"])
-        try:
-            f.relative_to(root)
-        except ValueError:
-            continue
-        out.add(f)
-    # Headers never appear in the compile database; lint them too.
-    for h in root.rglob("*.hpp"):
-        out.add(h.resolve())
-    for h in root.rglob("*.h"):
-        out.add(h.resolve())
-    return sorted(out)
+    return lintcommon.files_from_compile_commands(db_path, src_root, "simlint")
 
 
 def main() -> int:
@@ -358,14 +231,7 @@ def main() -> int:
     for f in files:
         findings.extend(check_file(f, library_code=not args.no_library_rules))
 
-    for fi in findings:
-        print(fi)
-    if findings:
-        print(f"simlint: {len(findings)} finding(s) in {len(files)} file(s)",
-              file=sys.stderr)
-        return 1
-    print(f"simlint: clean ({len(files)} files)", file=sys.stderr)
-    return 0
+    return lintcommon.report(findings, len(files), "simlint")
 
 
 if __name__ == "__main__":

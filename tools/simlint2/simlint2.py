@@ -76,13 +76,16 @@ Exit status: 0 clean, 1 findings, 2 usage/configuration error.
 from __future__ import annotations
 
 import argparse
-import json
 import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+import lintcommon
+from lintcommon import match_paren, split_top_commas
+
 # ---------------------------------------------------------------------------
-# Shared plumbing (mirrors tools/simlint)
+# Shared plumbing (tools/lintcommon)
 
 RULES = {
     "cycle": "shared_ptr ownership cycle; break it with a weak_ptr capture or an explicit close() teardown",
@@ -91,124 +94,18 @@ RULES = {
     "reentrant-handler": "handler re-enters Fabric::send synchronously; post through the event queue instead",
 }
 
-ALLOW = re.compile(r"//\s*simlint2:allow\(([\w-]+)\)\s*(.*)")
-
 HANDLER_SETTERS = ("set_on_message", "set_on_broken", "set_on_event")
 
 
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, detail: str = ""):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.detail = detail
-
-    def __str__(self) -> str:
-        msg = RULES[self.rule]
-        if self.detail:
-            msg = f"{msg} ({self.detail})"
-        return f"{self.path}:{self.line}: [{self.rule}] {msg}"
+class Finding(lintcommon.Finding):
+    rules = RULES
 
 
-def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
-    """Blank out string/char literals and comments, preserving columns."""
-    out = []
-    i = 0
-    n = len(line)
-    state = "block" if in_block_comment else "code"
-    while i < n:
-        c = line[i]
-        if state == "code":
-            if c == '"':
-                out.append(" ")
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        out.append("  ")
-                        i += 2
-                        continue
-                    if line[i] == '"':
-                        out.append(" ")
-                        i += 1
-                        break
-                    out.append(" ")
-                    i += 1
-                continue
-            if c == "'":
-                out.append(" ")
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        out.append("  ")
-                        i += 2
-                        continue
-                    if line[i] == "'":
-                        out.append(" ")
-                        i += 1
-                        break
-                    out.append(" ")
-                    i += 1
-                continue
-            if c == "/" and i + 1 < n and line[i + 1] == "/":
-                out.append(" " * (n - i))
-                i = n
-                continue
-            if c == "/" and i + 1 < n and line[i + 1] == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c)
-            i += 1
-        else:
-            if c == "*" and i + 1 < n and line[i + 1] == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(" ")
-            i += 1
-    return "".join(out), state == "block"
-
-
-class SourceFile:
+class SourceFile(lintcommon.SourceFile):
     """One parsed file: raw lines, comment-stripped lines, suppressions."""
 
     def __init__(self, path: Path):
-        self.path = path
-        try:
-            self.raw = path.read_text(errors="replace").split("\n")
-        except OSError as e:
-            print(f"simlint2: cannot read {path}: {e}", file=sys.stderr)
-            sys.exit(2)
-        self.code: list[str] = []
-        self.allows: dict[int, str] = {}
-        in_block = False
-        for lineno, line in enumerate(self.raw, 1):
-            am = ALLOW.search(line)
-            if am:
-                rule, reason = am.group(1), am.group(2).strip()
-                if rule not in RULES:
-                    print(
-                        f"{path}:{lineno}: simlint2:allow names unknown rule "
-                        f"'{rule}' (known: {', '.join(sorted(RULES))})",
-                        file=sys.stderr,
-                    )
-                    sys.exit(2)
-                if not reason:
-                    print(
-                        f"{path}:{lineno}: simlint2:allow({rule}) is missing "
-                        f"the mandatory reason text",
-                        file=sys.stderr,
-                    )
-                    sys.exit(2)
-                self.allows[lineno] = rule
-            stripped, in_block = strip_code(line, in_block)
-            self.code.append(stripped)
-
-    def suppressed(self, lineno: int, rule: str) -> bool:
-        return (self.allows.get(lineno) == rule
-                or self.allows.get(lineno - 1) == rule)
+        super().__init__(path, "simlint2", RULES)
 
 
 # ---------------------------------------------------------------------------
@@ -344,39 +241,6 @@ def collect_member_edges(sf: SourceFile, model: Model) -> None:
             stack.pop()
 
 
-def match_paren(text: str, open_idx: int) -> int:
-    """Index of the char matching text[open_idx] ('(' or '[' or '{')."""
-    pairs = {"(": ")", "[": "]", "{": "}"}
-    close = pairs[text[open_idx]]
-    opener = text[open_idx]
-    depth = 0
-    for i in range(open_idx, len(text)):
-        if text[i] == opener:
-            depth += 1
-        elif text[i] == close:
-            depth -= 1
-            if depth == 0:
-                return i
-    return len(text) - 1
-
-
-def split_top_commas(text: str) -> list[str]:
-    out, depth, cur = [], 0, []
-    for c in text:
-        if c in "([{<":
-            depth += 1
-        elif c in ")]}>":
-            depth -= 1
-        if c == "," and depth == 0:
-            out.append("".join(cur))
-            cur = []
-        else:
-            cur.append(c)
-    if cur:
-        out.append("".join(cur))
-    return out
-
-
 def local_shared_types(code_text: str, current_class: str | None,
                        model: Model) -> dict[str, str | None]:
     """identifier -> pointee class for shared-typed locals/params in a
@@ -407,7 +271,7 @@ def collect_handler_edges(sf: SourceFile, model: Model) -> None:
     """Find handler installations and record owning captures as edges from
     the receiver's class to the captured pointee class."""
     text = "\n".join(sf.code)
-    line_of = _line_index(text)
+    line_of = lintcommon.line_index(text)
 
     # Method-definition context gives shared_from_this() its class. Only
     # depth-0 lines qualify: `Foo::bar(` inside a body is a call, not a
@@ -511,25 +375,6 @@ def collect_handler_edges(sf: SourceFile, model: Model) -> None:
                         src_cls, pointee, sf.path, lineno,
                         f"{setter} handler captures "
                         f"shared_ptr<{pointee}> '{item}'"))
-
-
-def _line_index(text: str):
-    starts = [0]
-    for i, c in enumerate(text):
-        if c == "\n":
-            starts.append(i + 1)
-
-    def line_of(offset: int) -> int:
-        lo, hi = 0, len(starts) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if starts[mid] <= offset:
-                lo = mid
-            else:
-                hi = mid - 1
-        return lo + 1
-
-    return line_of
 
 
 def extract_model_text(files: list[SourceFile]) -> Model:
@@ -836,7 +681,7 @@ FABRIC_SEND = re.compile(r"\bfabric(?:\(\)|_)\s*(?:\.|->)\s*send\s*\(")
 def check_reentrant_handler(sf: SourceFile) -> list[Finding]:
     findings: list[Finding] = []
     text = "\n".join(sf.code)
-    line_of = _line_index(text)
+    line_of = lintcommon.line_index(text)
     for m in re.finditer(
         r"(?:->|\.)\s*(?:set_on_message|set_on_broken)\s*\(\s*\[", text
     ):
@@ -884,26 +729,7 @@ def check_reentrant_handler(sf: SourceFile) -> list[Finding]:
 # Driver
 
 def files_from_compile_commands(db_path: Path, src_root: Path) -> list[Path]:
-    try:
-        entries = json.loads(db_path.read_text())
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"simlint2: cannot load {db_path}: {e}", file=sys.stderr)
-        sys.exit(2)
-    root = src_root.resolve()
-    out: set[Path] = set()
-    for entry in entries:
-        f = Path(entry["directory"], entry["file"]).resolve() \
-            if not Path(entry["file"]).is_absolute() else Path(entry["file"])
-        try:
-            f.relative_to(root)
-        except ValueError:
-            continue
-        out.add(f)
-    for h in root.rglob("*.hpp"):
-        out.add(h.resolve())
-    for h in root.rglob("*.h"):
-        out.add(h.resolve())
-    return sorted(out)
+    return lintcommon.files_from_compile_commands(db_path, src_root, "simlint2")
 
 
 def main() -> int:
@@ -958,15 +784,7 @@ def main() -> int:
         findings.extend(check_unchecked_status(sf))
         findings.extend(check_reentrant_handler(sf))
 
-    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
-    for fi in findings:
-        print(fi)
-    if findings:
-        print(f"simlint2: {len(findings)} finding(s) in {len(files)} file(s)",
-              file=sys.stderr)
-        return 1
-    print(f"simlint2: clean ({len(files)} files)", file=sys.stderr)
-    return 0
+    return lintcommon.report(findings, len(files), "simlint2")
 
 
 if __name__ == "__main__":

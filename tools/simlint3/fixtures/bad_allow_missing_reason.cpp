@@ -1,0 +1,8 @@
+struct NodeMsg {
+  enum class Type : char {
+    kOne = 'z',
+    // simlint3:allow(duplicate-tag)
+    kTwo = 'z',
+  };
+  Type type;
+};

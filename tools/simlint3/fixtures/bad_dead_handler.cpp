@@ -1,0 +1,37 @@
+// kGhost has a real handler body but no send site exists anywhere:
+// dead protocol surface that will never be exercised or tested.
+#include <string>
+
+struct NodeMsg {
+  enum class Type : char {
+    kLive = 'l',
+    kGhost = 'g',
+  };
+  Type type;
+  std::string encode() const;
+};
+
+struct Chan { void send(const std::string&); };
+
+struct Node {
+  Chan ch_;
+  void apply(const NodeMsg& m);
+  void dispatch(const NodeMsg& m) {
+    switch (m.type) {
+      case NodeMsg::Type::kLive:
+        apply(m);
+        break;
+      case NodeMsg::Type::kGhost:
+        apply(m);
+        break;
+    }
+  }
+  void send_live() { ch_.send(NodeMsg{NodeMsg::Type::kLive, 0}.encode()); }
+};
+
+int main() {
+  Node n;
+  n.dispatch(NodeMsg{NodeMsg::Type::kLive});
+  n.send_live();
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Two enumerators share the wire tag 'x': frames misroute silently.
+struct NodeMsg {
+  enum class Type : char {
+    kAlpha = 'x',
+    kBeta = 'x',
+  };
+  Type type;
+};

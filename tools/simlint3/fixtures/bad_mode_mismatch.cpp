@@ -1,0 +1,55 @@
+// kState is only ever sent in chain mode, but its handler only does real
+// work in quorum mode — in every configuration the message is wasted.
+#include <string>
+
+enum class ReplicationMode { kChain, kQuorum };
+
+struct NodeMsg {
+  enum class Type : char {
+    kData = 'd',
+    kState = 's',
+  };
+  Type type;
+  std::string encode() const;
+};
+
+struct Stats { void incr(const char*); };
+struct Chan { void send(const std::string&); };
+
+struct Node {
+  Stats stats_;
+  Chan ch_;
+  ReplicationMode replication_mode = ReplicationMode::kChain;
+  void apply(const NodeMsg& m);
+
+  void dispatch(const NodeMsg& m) {
+    switch (m.type) {
+      case NodeMsg::Type::kData:
+        apply(m);
+        break;
+      case NodeMsg::Type::kState:
+        if (replication_mode == ReplicationMode::kQuorum) {
+          apply(m);
+        } else {
+          stats_.incr("unexpected_msgs");
+        }
+        break;
+    }
+  }
+
+  void send_data() { ch_.send(NodeMsg{NodeMsg::Type::kData, 0}.encode()); }
+
+  void send_state() {
+    if (replication_mode == ReplicationMode::kChain) {
+      ch_.send(NodeMsg{NodeMsg::Type::kState, 0}.encode());
+    }
+  }
+};
+
+int main() {
+  Node n;
+  n.dispatch(NodeMsg{NodeMsg::Type::kData});
+  n.send_data();
+  n.send_state();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// WSEQX is pushed onto the replication stream but no dispatcher ever
+// compares argv[0] against it: replicas will drop it on the floor.
+#include <string>
+#include <vector>
+
+void emit(std::vector<std::string>& out) {
+  out.emplace_back("WSEQX");
+  out.emplace_back("1");
+}

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Self-test for simlint3: runs the checker against the fixtures and
+asserts findings, suppressions, exit codes, knob-doc plumbing and the
+compile-commands file scoping all behave. Wired into ctest as
+`simlint3_selftest`.
+
+The text frontend is pinned (`--frontend text`) so the test is
+deterministic on machines with and without libclang; a separate check
+verifies that `--frontend auto` degrades gracefully either way.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).parent
+LINT = HERE / "simlint3.py"
+FIXTURES = HERE / "fixtures"
+
+failures: list[str] = []
+
+
+def run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True)
+
+
+def expect(name: str, cond: bool, context: str = "") -> None:
+    if cond:
+        print(f"  ok  {name}")
+    else:
+        print(f"FAIL  {name}\n{context}")
+        failures.append(name)
+
+
+def check_bad(fixture: str, rule: str, min_findings: int = 1,
+              *extra: str) -> str:
+    """A bad fixture must exit 1 with >= min_findings of the given rule,
+    each carrying a file:line prefix. Returns stdout for extra checks."""
+    r = run("--frontend", "text", str(FIXTURES / fixture), *extra)
+    hits = [l for l in r.stdout.splitlines() if f"[{rule}]" in l]
+    expect(f"{fixture} exits 1", r.returncode == 1,
+           f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+    expect(f"{fixture} reports >= {min_findings} [{rule}]",
+           len(hits) >= min_findings, r.stdout)
+    for l in hits:
+        loc = l.split(" ")[0]  # path:line:
+        parts = loc.rstrip(":").rsplit(":", 1)
+        addressable = len(parts) == 2 and parts[1].isdigit()
+        expect(f"{fixture} finding is file:line addressable", addressable, l)
+    return r.stdout
+
+
+# --- clean fixtures pass -----------------------------------------------------
+for clean in ("clean.cpp", "suppressed.cpp"):
+    r = run("--frontend", "text", str(FIXTURES / clean))
+    expect(f"{clean} passes", r.returncode == 0,
+           f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+
+# --- each rule fires on its fixture ------------------------------------------
+out = check_bad("bad_duplicate_tag.cpp", "duplicate-tag")
+expect("duplicate-tag names both enumerators and the char",
+       "kBeta" in out and "kAlpha" in out and "'x'" in out, out)
+
+out = check_bad("bad_unhandled_tag.cpp", "unhandled-tag", 2)
+expect("unhandled-tag: default does not count as handling",
+       "switch misses kBeta, kGamma" in out, out)
+expect("unhandled-tag: stale type tables are caught",
+       "type table misses kGamma" in out, out)
+
+out = check_bad("bad_dead_send.cpp", "dead-send")
+expect("dead-send names the ignored-everywhere tag",
+       "kDrop" in out and "explicitly ignores" in out, out)
+expect("dead-send does not flag the handled tag", "kKeep" not in out, out)
+
+out = check_bad("bad_dead_handler.cpp", "dead-handler")
+expect("dead-handler names the never-sent tag",
+       "kGhost" in out and "no send site" in out, out)
+expect("dead-handler does not flag the live tag", "kLive" not in out, out)
+
+out = check_bad("bad_mode_mismatch.cpp", "dead-send")
+expect("mode mismatch: send side names the orphaned mode",
+       "kState sent in mode(s) kChain" in out, out)
+expect("mode mismatch: handler side also flagged",
+       "[dead-handler]" in out and "only reachable in kQuorum" in out, out)
+expect("mode mismatch: ungated tag stays clean", "kData" not in out, out)
+
+out = check_bad("bad_repl_command.cpp", "repl-command")
+expect("repl-command names the orphaned command and missing side",
+       "WSEQX" in out and "no handle site" in out, out)
+
+out = check_bad("bad_observe_taint.cpp", "observe-taint")
+expect("observe-taint reports the transitive chain",
+       "sample -> nudge" in out and "event-schedule" in out, out)
+
+out = check_bad("src/obs/bad_obs_sink.cpp", "observe-taint")
+expect("obs/ files are observe-only without annotation",
+       "trace-note" in out, out)
+
+out = check_bad("bad_knob.hpp", "knob-drift", 1,
+                "--doc", str(FIXTURES / "knobs_doc.md"))
+expect("knob-drift flags only the undocumented field",
+       "mystery_knob" in out and "documented_knob" not in out, out)
+expect("knob-drift allow-comment works", "excused_knob" not in out, out)
+
+# --- suppression plumbing ----------------------------------------------------
+r = run("--frontend", "text", str(FIXTURES / "bad_allow_missing_reason.cpp"))
+expect("allow without reason exits 2", r.returncode == 2,
+       f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+expect("allow without reason names the problem",
+       "missing the mandatory reason" in r.stderr, r.stderr)
+
+with tempfile.TemporaryDirectory() as td:
+    bad = Path(td) / "unknown_rule.cpp"
+    bad.write_text("// simlint3:allow(not-a-rule) whatever\nint x;\n")
+    r = run("--frontend", "text", str(bad))
+    expect("allow with unknown rule exits 2", r.returncode == 2,
+           f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+    expect("unknown rule message lists known rules",
+           "unknown rule" in r.stderr and "dead-send" in r.stderr, r.stderr)
+
+# --- frontend gating ---------------------------------------------------------
+r = run("--frontend", "auto", str(FIXTURES / "clean.cpp"))
+expect("frontend auto degrades gracefully", r.returncode == 0,
+       f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+
+# --- knob doc plumbing -------------------------------------------------------
+r = run("--frontend", "text", str(FIXTURES / "bad_knob.hpp"),
+        "--doc", str(FIXTURES / "no_such_doc.md"))
+expect("missing --doc file exits 2", r.returncode == 2,
+       f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+r = run("--frontend", "text", str(FIXTURES / "bad_knob.hpp"))
+expect("knob pass is skipped without a doc", r.returncode == 0,
+       f"rc={r.returncode}\n{r.stdout}{r.stderr}")
+
+# --- compile-commands scoping + header sweep ---------------------------------
+with tempfile.TemporaryDirectory() as td:
+    root = Path(td)
+    src = root / "src"
+    src.mkdir()
+    (src / "inside.cpp").write_text(
+        "struct NodeMsg {\n"
+        "  enum class Type : char { kIn = 'i', kIn2 = 'i' };\n"
+        "};\n")
+    (src / "swept.hpp").write_text(
+        "struct NodeMsg2 {\n"
+        "  enum class Type : char { kSw = 's', kSw2 = 's' };\n"
+        "};\n")
+    outside = root / "outside.cpp"
+    outside.write_text(
+        "struct NodeMsg3 {\n"
+        "  enum class Type : char { kOut = 'o', kOut2 = 'o' };\n"
+        "};\n")
+    db = root / "compile_commands.json"
+    db.write_text(json.dumps([
+        {"directory": str(root), "file": str(src / "inside.cpp"),
+         "command": "c++ -c inside.cpp"},
+        {"directory": str(root), "file": str(outside),
+         "command": "c++ -c outside.cpp"},
+    ]))
+    r = run("--frontend", "text", "--compile-commands", str(db),
+            "--src-root", str(src))
+    expect("compile-commands: src file linted", "inside.cpp:2" in r.stdout,
+           r.stdout)
+    expect("compile-commands: headers under src swept",
+           "swept.hpp:2" in r.stdout, r.stdout)
+    expect("compile-commands: files outside src-root ignored",
+           "outside.cpp" not in r.stdout, r.stdout)
+
+# -----------------------------------------------------------------------------
+if failures:
+    print(f"\nsimlint3 selftest: {len(failures)} failure(s)")
+    sys.exit(1)
+print("\nsimlint3 selftest: all checks passed")
+sys.exit(0)

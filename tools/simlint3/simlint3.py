@@ -1,0 +1,933 @@
+#!/usr/bin/env python3
+"""simlint3 — protocol-conformance and observe-only purity analyzer.
+
+Whole-program pass over the NodeMsg wire protocol and the config/observability
+surface. Rules:
+
+  duplicate-tag   two NodeMsg::Type enumerators share a wire tag char
+  unhandled-tag   a dispatch switch or type table misses an enum value
+  dead-send       a tag is sent but never actively handled (or only handled
+                  in replication modes it is never sent in)
+  dead-handler    an active handler is unreachable from any send site
+  repl-command    a WSEQ* replication RESP command lacks a send or handle site
+  observe-taint   src/obs/ code or a `// simlint3:observe-only` function can
+                  reach trace-digest notes, event scheduling, or KV mutation
+  knob-drift      a ServerConfig/NicKvConfig/RunOptions field is not
+                  documented in EXPERIMENTS.md
+
+Reachability is computed per `replication_mode`: `if (... replication_mode ==
+ReplicationMode::kX ...)` gates around send sites and handler case bodies are
+interpreted, and entry modes propagate through a unique-name call graph by a
+least fixpoint. The analysis is conservative: unresolvable conditions or
+ambiguous call names widen to "all modes" rather than inventing findings.
+
+Like simlint2, a libclang frontend (enum extraction + duplicate-tag) is used
+when python bindings are importable; everything else is lexical in both
+frontends. `--frontend text` forces the dependency-free path.
+
+Suppress with `// simlint3:allow(rule) reason` on the finding line or the
+line above; the reason is mandatory. Exit: 0 clean, 1 findings, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+import lintcommon  # noqa: E402
+from lintcommon import match_paren  # noqa: E402
+
+RULES = {
+    "duplicate-tag": "two NodeMsg::Type values share a wire tag char",
+    "unhandled-tag": "dispatch switch/type table does not cover every "
+                     "NodeMsg::Type",
+    "dead-send": "message tag is sent but never actively handled",
+    "dead-handler": "handler is unreachable from any send site",
+    "repl-command": "replication RESP command lacks a send or handle site",
+    "observe-taint": "observe-only code reaches sim/KV-mutating operations",
+    "knob-drift": "config knob is undocumented",
+}
+
+
+class Finding(lintcommon.Finding):
+    rules = RULES
+
+
+def strip_comments_only(line: str, in_block: bool) -> tuple[str, bool]:
+    """Blank comments but KEEP string/char literals (column-preserving).
+    Needed wherever literal text matters: enum tag chars, WSEQ command
+    strings. Structural parsing always uses the fully stripped view."""
+    out = []
+    i, n = 0, len(line)
+    state = "block" if in_block else "code"
+    while i < n:
+        c = line[i]
+        if state == "code":
+            if c in "\"'":
+                quote = c
+                out.append(c)
+                i += 1
+                while i < n:
+                    if line[i] == "\\" and i + 1 < n:
+                        out.append(line[i:i + 2])
+                        i += 2
+                        continue
+                    out.append(line[i])
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                out.append(" " * (n - i))
+                i = n
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c)
+            i += 1
+        else:
+            if c == "*" and i + 1 < n and line[i + 1] == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+            i += 1
+    return "".join(out), state == "block"
+
+
+class SourceFile(lintcommon.SourceFile):
+    def __init__(self, path: Path):
+        super().__init__(path, "simlint3", RULES)
+        self.nocomment: list[str] = []
+        in_block = False
+        for line in self.raw:
+            stripped, in_block = strip_comments_only(line, in_block)
+            self.nocomment.append(stripped)
+
+
+class FileText:
+    """One file with joined code/nocomment views sharing offsets."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.sf = SourceFile(path)
+        self.code = "\n".join(self.sf.code)
+        self.nocomment = "\n".join(self.sf.nocomment)
+        self.line_of = lintcommon.line_index(self.code)
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        return self.sf.suppressed(lineno, rule)
+
+
+# ---------------------------------------------------------------------------
+# Function table: file-scope and single-level in-class definitions, found by
+# classifying every `{` from the text between it and the previous delimiter.
+# Bodies give us call sites, send sites, dispatch switches and mode regions.
+
+NOT_A_FUNC = {
+    "if", "for", "while", "switch", "return", "else", "do", "catch", "case",
+    "new", "delete", "sizeof", "throw", "operator", "alignas", "decltype",
+    "static_assert", "defined", "assert",
+}
+
+
+def _func_name(header: str) -> str | None:
+    """Name of the function a `{`'s header declares, or None."""
+    depth = 0
+    idx = -1
+    for i, ch in enumerate(header):
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth = max(0, depth - 1)
+        elif ch == "(" and depth == 0:
+            idx = i
+            break
+    if idx < 0:
+        return None
+    left = header[:idx]
+    if "=" in left:  # assignment / lambda intro — not a definition header
+        return None
+    m = re.search(r"([A-Za-z_]\w*)\s*$", left)
+    if not m or m.group(1) in NOT_A_FUNC:
+        return None
+    return m.group(1)
+
+
+class Func:
+    def __init__(self, name: str, ft: FileText, lo: int, hi: int):
+        self.name = name
+        self.ft = ft
+        self.lo = lo      # offset of body '{'
+        self.hi = hi      # offset one past body '}'
+        self.line = ft.line_of(lo)
+        self.marks: list[frozenset] | None = None
+        self.calls: list[tuple[str, int]] = []
+        self.annotated = False
+
+    def mark_at(self, off: int, all_modes: frozenset) -> frozenset:
+        if self.marks is None:
+            return all_modes
+        i = off - self.lo
+        if 0 <= i < len(self.marks) and self.marks[i] is not None:
+            return self.marks[i]
+        return all_modes
+
+
+CALL_RE = re.compile(r"(?<![\w:.])([A-Za-z_]\w*)\s*\(")
+MEMBER_CALL_RE = re.compile(r"(?:\.|->|::)\s*([A-Za-z_]\w*)\s*\(")
+ANNOT_RE = re.compile(r"//\s*simlint3:observe-only")
+
+
+def parse_funcs(ft: FileText) -> list[Func]:
+    text = ft.code
+    funcs: list[Func] = []
+    stack: list[str] = []  # 'ns' | 'agg' | 'func' | 'other'
+    last_delim = 0
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == ";":
+            last_delim = i + 1
+        elif c == "}":
+            if stack:
+                stack.pop()
+            last_delim = i + 1
+        elif c == "{":
+            header = text[last_delim:i].strip()
+            kind = "other"
+            if re.search(r"\bnamespace\s*[\w:]*$", header):
+                kind = "ns"
+            elif (re.search(r"\b(?:class|struct|union|enum)\b", header)
+                  and "(" not in header):
+                kind = "agg"
+            else:
+                name = _func_name(header)
+                if (name is not None
+                        and all(k in ("ns", "agg") for k in stack)
+                        and sum(1 for k in stack if k == "agg") <= 1):
+                    hi = match_paren(text, i) + 1
+                    f = Func(name, ft, i, hi)
+                    lineno = f.line
+                    # annotation on the definition line or the line above
+                    for ln in (lineno, lineno - 1):
+                        if (1 <= ln <= len(ft.sf.raw)
+                                and ANNOT_RE.search(ft.sf.raw[ln - 1])):
+                            f.annotated = True
+                    funcs.append(f)
+                    kind = "func"
+            stack.append(kind)
+            last_delim = i + 1
+        i += 1
+    for f in funcs:
+        body = text[f.lo:f.hi]
+        for m in CALL_RE.finditer(body):
+            if m.group(1) not in NOT_A_FUNC:
+                f.calls.append((m.group(1), f.lo + m.start(1)))
+        for m in MEMBER_CALL_RE.finditer(body):
+            if m.group(1) not in NOT_A_FUNC:
+                f.calls.append((m.group(1), f.lo + m.start(1)))
+    return funcs
+
+
+# ---------------------------------------------------------------------------
+# Replication-mode regions. For every function body we compute, per character
+# offset, the set of modes under which that code can execute relative to the
+# function's entry (entry itself is resolved by the call-graph fixpoint).
+
+MODE_TERM_RE = re.compile(
+    r"[\w.\->]*replication_mode\s*([!=]=)\s*[\w:]*?ReplicationMode\s*::\s*(k\w+)"
+)
+IF_RE = re.compile(r"(?<![\w#])if\s*\(")
+
+
+def _split_top(text: str, sep: str) -> list[str]:
+    out, depth, cur = [], 0, []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        if depth == 0 and text.startswith(sep, i):
+            out.append("".join(cur))
+            cur = []
+            i += len(sep)
+            continue
+        cur.append(c)
+        i += 1
+    out.append("".join(cur))
+    return out
+
+
+class ModeLogic:
+    def __init__(self, modes: list[str]):
+        self.all = frozenset(modes)
+
+    def _term(self, term: str) -> tuple[frozenset | None, bool]:
+        """(mode set, is-pure-mode-term). Pure means the term is nothing but
+        the mode comparison, so its negation is also known."""
+        t = term.strip()
+        while t.startswith("(") and t.endswith(")") \
+                and match_paren(t, 0) == len(t) - 1:
+            t = t[1:-1].strip()
+        m = MODE_TERM_RE.search(t)
+        if not m:
+            return None, False
+        s = frozenset({m.group(2)}) if m.group(1) == "==" \
+            else self.all - {m.group(2)}
+        pure = MODE_TERM_RE.fullmatch(t) is not None
+        return s, pure
+
+    def branch_sets(self, cond: str) -> tuple[frozenset, frozenset]:
+        """(guaranteed-false set GF, guaranteed-true set GT) of modes.
+        then-branch modes = cur - GF; else-branch modes = cur - GT."""
+        if "?" in cond or re.search(r"!\s*\(", cond):
+            return frozenset(), frozenset()  # opaque — no narrowing
+        gf = set(self.all)
+        gt: set = set()
+        for disjunct in _split_top(cond, "||"):
+            t = set(self.all)
+            fully_pure = True
+            saw_mode = False
+            for conj in _split_top(disjunct, "&&"):
+                s, pure = self._term(conj)
+                if s is not None:
+                    t &= s
+                    saw_mode = True
+                if not pure:
+                    fully_pure = False
+            # If any mode conjunct exists, the disjunct is false outside t.
+            gf &= (set(self.all) - t) if saw_mode else set()
+            # Guaranteed true only when every conjunct is a pure mode term.
+            if fully_pure and saw_mode:
+                gt |= t
+        return frozenset(gf), frozenset(gt)
+
+
+RETURN_TAIL_RE = re.compile(r"\breturn\b[^;{}]*;\s*\}?\s*$")
+
+
+def compute_marks(f: Func, logic: ModeLogic) -> None:
+    text = f.ft.code
+    marks: list[frozenset | None] = [None] * (f.hi - f.lo)
+
+    def set_range(a: int, b: int, cur: frozenset) -> None:
+        for i in range(max(a, f.lo), min(b, f.hi)):
+            marks[i - f.lo] = cur
+
+    def skip_ws(i: int) -> int:
+        while i < f.hi and text[i].isspace():
+            i += 1
+        return i
+
+    def body_span(i: int) -> tuple[int, int]:
+        i = skip_ws(i)
+        if i < f.hi and text[i] == "{":
+            return i, match_paren(text, i) + 1
+        j = text.find(";", i, f.hi)
+        return i, (j + 1 if j >= 0 else f.hi)
+
+    def parse_if(p: int, cur: frozenset) -> tuple[int, frozenset]:
+        """Parse the if/else-if/else chain at p; fill bodies; return
+        (end offset, mode set after the statement)."""
+        op = text.find("(", p)
+        cp = match_paren(text, op)
+        gf, gt = logic.branch_sets(text[op + 1:cp])
+        then_set, else_set = cur - gf, cur - gt
+        blo, bhi = body_span(cp + 1)
+        fill_region(blo, bhi, then_set)
+        k = skip_ws(bhi)
+        if text.startswith("else", k) and not (
+                k + 4 < f.hi and (text[k + 4].isalnum() or text[k + 4] == "_")):
+            k2 = skip_ws(k + 4)
+            if IF_RE.match(text, k2):
+                end, _ = parse_if(k2, else_set)
+                return end, cur
+            elo, ehi = body_span(k2)
+            fill_region(elo, ehi, else_set)
+            return ehi, cur
+        # No else: an unconditional return in the then-branch narrows the
+        # fall-through to the else set.
+        if RETURN_TAIL_RE.search(text[blo:bhi].strip()):
+            return bhi, else_set
+        return bhi, cur
+
+    def fill_region(a: int, b: int, cur: frozenset) -> None:
+        set_range(a, b, cur)
+        i = a
+        while i < b:
+            m = IF_RE.search(text, i, b)
+            if not m:
+                return
+            end, cur2 = parse_if(m.start(), cur)
+            if cur2 != cur:
+                cur = cur2
+                set_range(end, b, cur)
+            i = max(end, m.start() + 2)
+
+    fill_region(f.lo, f.hi, logic.all)
+    f.marks = marks
+
+# ---------------------------------------------------------------------------
+# Protocol surface extraction.
+
+ENUM_TYPE_RE = re.compile(r"\benum\s+class\s+Type\s*:\s*char\s*\{")
+ENUM_ENTRY_RE = re.compile(r"\b(k\w+)\s*=\s*'(\\?[^'])'")
+MODE_ENUM_RE = re.compile(r"\benum\s+class\s+ReplicationMode\b[^{;]*\{")
+SEND_RE = re.compile(
+    r"\bNodeMsg(?:\s+\w+)?\s*\{\s*(?:[\w:]+::)?\s*Type\s*::\s*(k\w+)")
+CASE_RE = re.compile(r"\bcase\s+(?:[\w:]+::)?\s*Type\s*::\s*(k\w+)\s*:")
+LABEL_RE = re.compile(
+    r"\bcase\s+(?:[\w:]+::)?\s*Type\s*::\s*(k\w+)\s*:|\bdefault\s*:")
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+TYPE_TABLE_RE = re.compile(r"\bType\s+(k?\w+)\s*\[[^\]]*\]\s*=\s*\{")
+STATS_RE = re.compile(r"\bstats_?\s*\.\s*incr\s*\(")
+WSEQ_RE = re.compile(r'"(WSEQ[A-Z0-9]*)"')
+WSEQ_HANDLE_RE = re.compile(r"argv\s*\[\s*0\s*\]\s*[!=]=")
+WSEQ_SEND_RE = re.compile(
+    r'(?:emplace_back|push_back)\s*\(\s*"(WSEQ[A-Z0-9]*)"|\{\s*"(WSEQ[A-Z0-9]*)"')
+
+
+class CaseGroup:
+    def __init__(self, tags, line, modes, ignore):
+        self.tags = tags        # list of kTag names (empty for default-only)
+        self.line = line
+        self.modes = modes      # frozenset of modes, meaningful when active
+        self.ignore = ignore
+
+
+class Dispatcher:
+    def __init__(self, ft, line, groups, has_default):
+        self.ft = ft
+        self.line = line
+        self.groups = groups
+        self.has_default = has_default
+        self.covered = {t for g in groups for t in g.tags}
+        # A switch whose every group is an ignore group is a validity table
+        # (e.g. decode()): it must be exhaustive but handles nothing.
+        self.is_table = all(g.ignore for g in groups)
+
+
+def _blank_nonactions(body: str) -> str:
+    """Blank everything in a case-group body that is not real handling work:
+    if-headers, braces, bare break/return, [[fallthrough]], stats counters.
+    Remaining non-space chars mark 'action' offsets."""
+    buf = list(body)
+
+    def blank(a, b):
+        for i in range(a, b):
+            if buf[i] != "\n":
+                buf[i] = " "
+
+    for m in IF_RE.finditer(body):
+        op = body.find("(", m.start())
+        blank(m.start(), match_paren(body, op) + 1)
+    for m in STATS_RE.finditer(body):
+        op = body.find("(", m.end() - 1)
+        cp = match_paren(body, op)
+        end = cp + 1
+        if end < len(body) and body[end:end + 1] == ";":
+            end += 1
+        blank(m.start(), end)
+    out = "".join(buf)
+    out = re.sub(r"\bbreak\s*;|\breturn\s*;|\belse\b|\[\[\w+\]\]\s*;?|[{};]",
+                 lambda m: " " * len(m.group(0)), out)
+    return out
+
+
+def parse_dispatchers(ft, funcs, entry, logic):
+    """All switches over NodeMsg::Type in this file."""
+    text = ft.code
+    out = []
+    for sm in SWITCH_RE.finditer(text):
+        op = text.find("(", sm.start())
+        cp = match_paren(text, op)
+        bo = cp + 1
+        while bo < len(text) and text[bo].isspace():
+            bo += 1
+        if bo >= len(text) or text[bo] != "{":
+            continue
+        bc = match_paren(text, bo)
+        body = text[bo:bc + 1]
+        if not CASE_RE.search(body):
+            continue
+        # depth per char so only this switch's own labels count
+        depth = [0] * len(body)
+        d = 0
+        for i, c in enumerate(body):
+            if c == "{":
+                d += 1
+            elif c == "}":
+                d -= 1
+            depth[i] = d
+        labels = [(m.start(), m.end(), m.group(1))
+                  for m in LABEL_RE.finditer(body) if depth[m.start()] == 1]
+        if not labels:
+            continue
+        host = None
+        for f in funcs:
+            if f.ft is ft and f.lo <= sm.start() < f.hi:
+                host = f
+                break
+        host_entry = entry.get(host, logic.all) if host else logic.all
+        groups = []
+        has_default = False
+        i = 0
+        while i < len(labels):
+            j = i
+            tags = []
+            while j < len(labels):
+                a, b, tag = labels[j]
+                if tag is None:
+                    has_default = True
+                else:
+                    tags.append(tag)
+                # group continues while only whitespace separates labels
+                nxt = labels[j + 1] if j + 1 < len(labels) else None
+                if nxt and body[b:nxt[0]].strip() == "":
+                    j += 1
+                    continue
+                break
+            gb_lo = labels[j][1]
+            gb_hi = labels[j + 1][0] if j + 1 < len(labels) else len(body) - 1
+            actions = _blank_nonactions(body[gb_lo:gb_hi])
+            act_offsets = [gb_lo + k for k, c in enumerate(actions)
+                           if not c.isspace()]
+            ignore = not act_offsets
+            modes = frozenset()
+            if host and not ignore:
+                for off in act_offsets:
+                    modes |= host.mark_at(bo + off, logic.all)
+                modes &= host_entry
+            elif not ignore:
+                modes = logic.all
+            if tags or not ignore:
+                groups.append(CaseGroup(
+                    tags, ft.line_of(bo + labels[i][0]), modes, ignore))
+            i = j + 1
+        out.append(Dispatcher(ft, ft.line_of(sm.start()), groups, has_default))
+    return out
+
+
+def clang_enum_entries(paths):
+    """libclang frontend: NodeMsg::Type enumerators with their char values.
+    Returns list of (name, char, path, line) or None if unavailable."""
+    try:
+        from clang import cindex  # type: ignore
+        index = cindex.Index.create()
+    except Exception:
+        return None
+    out = []
+    for p in paths:
+        if p.suffix not in (".hpp", ".h"):
+            continue
+        try:
+            tu = index.parse(str(p), args=["-std=c++20", "-xc++"],
+                             options=cindex.TranslationUnit
+                             .PARSE_SKIP_FUNCTION_BODIES)
+        except Exception:
+            return None
+        def walk(cur):
+            if (cur.kind == cindex.CursorKind.ENUM_DECL
+                    and cur.spelling == "Type"):
+                for child in cur.get_children():
+                    if child.kind == cindex.CursorKind.ENUM_CONSTANT_DECL:
+                        out.append((child.spelling, chr(child.enum_value),
+                                    p, child.location.line))
+            for child in cur.get_children():
+                walk(child)
+        walk(tu.cursor)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Observe-only taint.
+
+SINK_RES = [
+    ("trace-note", re.compile(
+        r"\bTrace\s*::\s*note\s*\(|\btrace\s*\(\s*\)\s*\.\s*note\s*\(|"
+        r"\btrace_?\s*\.\s*note\s*\(")),
+    ("event-schedule", re.compile(
+        r"\b(?:sim_?|sim\s*\(\s*\))\s*(?:\.|->)\s*(?:after|schedule|at)\s*\(|"
+        r"->\s*submit\s*\(")),
+    ("cpu-consume", re.compile(r"(?:\.|->)\s*consume\s*\(")),
+    ("channel-send", re.compile(r"(?:\.|->)\s*send\s*\(")),
+    ("kv-mutation", re.compile(
+        r"commands_table_\s*\.\s*execute|backlog_\s*\.\s*(?:append|reset)|"
+        r"\brdb\s*::\s*load|\bdup_record\b")),
+]
+
+
+def taint_pass(funcs, unique, findings):
+    direct = {}
+    for f in funcs:
+        body = f.ft.code[f.lo:f.hi]
+        for kind, rx in SINK_RES:
+            m = rx.search(body)
+            if m:
+                direct[f] = (kind, f.ft.line_of(f.lo + m.start()))
+                break
+    memo = {}
+
+    def chase(f, stack):
+        if f in memo:
+            return memo[f]
+        if f in direct:
+            memo[f] = [(f, None, direct[f])]
+            return memo[f]
+        if f in stack:
+            return None
+        stack = stack | {f}
+        for name, off in f.calls:
+            callee = unique.get(name)
+            if callee is None or callee is f:
+                continue
+            r = chase(callee, stack)
+            if r:
+                memo[f] = [(f, off, None)] + r
+                return memo[f]
+        memo[f] = None
+        return None
+
+    seeds = [f for f in funcs
+             if f.annotated or "/obs/" in f.ft.path.as_posix()
+             or f.ft.path.as_posix().startswith("obs/")]
+    for f in seeds:
+        chain = chase(f, frozenset())
+        if not chain:
+            continue
+        head = chain[0]
+        if head[2] is not None:      # direct sink in the seed itself
+            line = head[2][1]
+            sink = head[2][0]
+            via = f.name
+        else:
+            line = f.ft.line_of(head[1])
+            tail = chain[-1]
+            sink = tail[2][0]
+            via = " -> ".join(c[0].name for c in chain)
+        if not f.ft.suppressed(line, "observe-taint"):
+            findings.append(Finding(
+                f.ft.path, line, "observe-taint",
+                f"{sink} reachable via {via}"))
+
+
+# ---------------------------------------------------------------------------
+# Config-knob drift.
+
+def knob_pass(fts, struct_names, doc_text, findings):
+    for ft in fts:
+        for sm in re.finditer(
+                r"\bstruct\s+(" + "|".join(map(re.escape, struct_names))
+                + r")\b[^;{]*\{", ft.code):
+            bo = ft.code.index("{", sm.start())
+            bc = match_paren(ft.code, bo)
+            span = list(ft.code[bo + 1:bc])
+            # blank nested brace groups (default member init, sub-aggregates)
+            d = 0
+            for i, c in enumerate(span):
+                if c == "{":
+                    d += 1
+                if d > 0 and c != "\n":
+                    span[i] = " "
+                if c == "}":
+                    d -= 1
+            flat = "".join(span)
+            base = bo + 1
+            for stmt_m in re.finditer(r"[^;]*;", flat):
+                stmt = stmt_m.group(0)
+                left = stmt.split("=")[0]
+                if "(" in left or ")" in left:
+                    continue
+                fm = re.search(r"[\w:<>,&*\s]+?\b(\w+)\s*(?:\[[^\]]*\]\s*)?"
+                               r"(?:=[^;]*)?;\s*$", stmt)
+                if not fm:
+                    continue
+                name = fm.group(1)
+                if name in ("struct", "class", "public", "private", "using",
+                            "typedef", "enum"):
+                    continue
+                if re.match(r"\s*(?:using|typedef|friend|static_assert)\b",
+                            stmt):
+                    continue
+                line = ft.line_of(base + stmt_m.start() + fm.start(1))
+                if re.search(r"\b" + re.escape(name) + r"\b", doc_text):
+                    continue
+                if not ft.suppressed(line, "knob-drift"):
+                    findings.append(Finding(
+                        ft.path, line, "knob-drift",
+                        f"{sm.group(1)}::{name} not mentioned in the knob "
+                        f"documentation"))
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+
+def analyze(paths, doc_text, struct_names, frontend):
+    fts = [FileText(p) for p in paths]
+    findings: list[Finding] = []
+
+    # --- enums ------------------------------------------------------------
+    entries = None
+    if frontend in ("auto", "clang"):
+        entries = clang_enum_entries(paths)
+        if entries is None:
+            if frontend == "clang":
+                print("simlint3: --frontend clang requested but libclang is "
+                      "not importable", file=sys.stderr)
+                sys.exit(2)
+            print("simlint3: libclang unavailable, falling back to text "
+                  "frontend", file=sys.stderr)
+        elif not entries:
+            entries = None  # clang parse found nothing usable; use text
+    if entries is None:
+        entries = []
+        for ft in fts:
+            for em in ENUM_TYPE_RE.finditer(ft.code):
+                bo = ft.code.index("{", em.start())
+                bc = match_paren(ft.code, bo)
+                for m in ENUM_ENTRY_RE.finditer(ft.nocomment, bo, bc):
+                    entries.append((m.group(1), m.group(2),
+                                    ft, ft.line_of(m.start())))
+    by_char: dict[str, tuple] = {}
+    enum_values: list[str] = []
+    for name, ch, ft_or_path, line in entries:
+        enum_values.append(name)
+        ft = ft_or_path if isinstance(ft_or_path, FileText) else None
+        path = ft.path if ft else ft_or_path
+        if ch in by_char and by_char[ch][0] != name:
+            if not (ft and ft.suppressed(line, "duplicate-tag")):
+                findings.append(Finding(
+                    path, line, "duplicate-tag",
+                    f"{name} and {by_char[ch][0]} both use tag '{ch}'"))
+        else:
+            by_char.setdefault(ch, (name, line))
+    enum_set = set(enum_values)
+
+    # --- replication modes ------------------------------------------------
+    modes = []
+    for ft in fts:
+        mm = MODE_ENUM_RE.search(ft.code)
+        if mm:
+            bo = ft.code.index("{", mm.start())
+            bc = match_paren(ft.code, bo)
+            modes = re.findall(r"\bk\w+", ft.code[bo:bc])
+            break
+    if not modes:
+        modes = ["kAnyMode"]
+    logic = ModeLogic(modes)
+
+    # --- function table + entry-mode fixpoint -----------------------------
+    funcs: list[Func] = []
+    for ft in fts:
+        funcs.extend(parse_funcs(ft))
+    by_name = defaultdict(list)
+    for f in funcs:
+        by_name[f.name].append(f)
+    unique = {n: fs[0] for n, fs in by_name.items() if len(fs) == 1}
+    for f in funcs:
+        compute_marks(f, logic)
+    callsites = defaultdict(list)
+    for caller in funcs:
+        for name, off in caller.calls:
+            tgt = unique.get(name)
+            if tgt is not None and tgt is not caller:
+                callsites[tgt].append((caller, off))
+    entry = {f: (frozenset() if callsites[f] else logic.all) for f in funcs}
+    for _ in range(40):
+        changed = False
+        for f in funcs:
+            if not callsites[f]:
+                continue
+            s = frozenset()
+            for caller, off in callsites[f]:
+                s |= entry[caller] & caller.mark_at(off, logic.all)
+            if s != entry[f]:
+                entry[f] = s
+                changed = True
+        if not changed:
+            break
+
+    # --- dispatchers, tables, sends ---------------------------------------
+    dispatchers = []
+    for ft in fts:
+        dispatchers.extend(parse_dispatchers(ft, funcs, entry, logic))
+    tables = []  # (ft, line, covered set)
+    for ft in fts:
+        for tm in TYPE_TABLE_RE.finditer(ft.code):
+            bo = ft.code.index("{", tm.end() - 1)
+            bc = match_paren(ft.code, bo)
+            covered = set(re.findall(r"\bType\s*::\s*(k\w+)",
+                                     ft.code[bo:bc]))
+            if covered:
+                tables.append((ft, ft.line_of(tm.start()), covered))
+    sends = defaultdict(list)  # tag -> [(ft, line, modes)]
+    for ft in fts:
+        for m in SEND_RE.finditer(ft.code):
+            host = None
+            for f in funcs:
+                if f.ft is ft and f.lo <= m.start() < f.hi:
+                    host = f
+                    break
+            if host:
+                mset = entry[host] & host.mark_at(m.start(), logic.all)
+            else:
+                mset = logic.all
+            sends[m.group(1)].append((ft, ft.line_of(m.start()), mset))
+
+    # --- unhandled-tag ----------------------------------------------------
+    if enum_set:
+        for d in dispatchers:
+            missing = sorted(enum_set - d.covered)
+            if missing and not d.ft.suppressed(d.line, "unhandled-tag"):
+                findings.append(Finding(
+                    d.ft.path, d.line, "unhandled-tag",
+                    "switch misses " + ", ".join(missing)))
+        for ft, line, covered in tables:
+            missing = sorted(enum_set - covered)
+            if missing and not ft.suppressed(line, "unhandled-tag"):
+                findings.append(Finding(
+                    ft.path, line, "unhandled-tag",
+                    "type table misses " + ", ".join(missing)))
+
+    # --- dead-send / dead-handler ----------------------------------------
+    active = defaultdict(list)  # tag -> [(ft, line, modes)]
+    cased = set()
+    for d in dispatchers:
+        if d.is_table:
+            cased |= d.covered
+            continue
+        for g in d.groups:
+            cased |= set(g.tags)
+            if not g.ignore:
+                for t in g.tags:
+                    active[t].append((d.ft, g.line, g.modes))
+    for tag in sorted(enum_set | set(sends) | set(active)):
+        ssites = sends.get(tag, [])
+        handlers = active.get(tag, [])
+        if ssites and not handlers:
+            ft, line, _ = ssites[0]
+            if not ft.suppressed(line, "dead-send"):
+                detail = ("never named in any dispatch switch"
+                          if tag not in cased else
+                          "every dispatch switch explicitly ignores it")
+                findings.append(Finding(ft.path, line, "dead-send",
+                                        f"{tag} is sent but {detail}"))
+            continue
+        if ssites and handlers:
+            s_total = frozenset().union(*[m for _, _, m in ssites])
+            h_total = frozenset().union(*[m for _, _, m in handlers])
+            uncovered = s_total - h_total
+            if s_total and uncovered:
+                for ft, line, m in ssites:
+                    if m & uncovered and not ft.suppressed(line, "dead-send"):
+                        findings.append(Finding(
+                            ft.path, line, "dead-send",
+                            f"{tag} sent in mode(s) "
+                            f"{', '.join(sorted(m & uncovered))} where no "
+                            f"active handler is reachable"))
+            for ft, line, h in handlers:
+                if h and s_total and not (h & s_total) \
+                        and not ft.suppressed(line, "dead-handler"):
+                    findings.append(Finding(
+                        ft.path, line, "dead-handler",
+                        f"{tag} handler only reachable in "
+                        f"{', '.join(sorted(h))} but the tag is sent only in "
+                        f"{', '.join(sorted(s_total))}"))
+        if not ssites and handlers:
+            for ft, line, _ in handlers:
+                if not ft.suppressed(line, "dead-handler"):
+                    findings.append(Finding(
+                        ft.path, line, "dead-handler",
+                        f"{tag} has an active handler but no send site "
+                        f"exists anywhere"))
+
+    # --- repl-command -----------------------------------------------------
+    cmd_sites = defaultdict(lambda: {"send": [], "handle": [], "any": []})
+    for ft in fts:
+        for lineno, line in enumerate(ft.sf.nocomment, 1):
+            for m in WSEQ_RE.finditer(line):
+                cmd = m.group(1)
+                rec = cmd_sites[cmd]
+                rec["any"].append((ft, lineno))
+                if WSEQ_HANDLE_RE.search(line):
+                    rec["handle"].append((ft, lineno))
+                sm = WSEQ_SEND_RE.search(line)
+                if sm and (sm.group(1) or sm.group(2)) == cmd:
+                    rec["send"].append((ft, lineno))
+    for cmd in sorted(cmd_sites):
+        rec = cmd_sites[cmd]
+        for side, other in (("send", "handle"), ("handle", "send")):
+            if rec[side] and not rec[other]:
+                ft, line = rec[side][0]
+                if not ft.suppressed(line, "repl-command"):
+                    findings.append(Finding(
+                        ft.path, line, "repl-command",
+                        f"{cmd} has {len(rec[side])} {side} site(s) but no "
+                        f"{other} site"))
+
+    # --- observe-taint ----------------------------------------------------
+    taint_pass(funcs, unique, findings)
+
+    # --- knob-drift -------------------------------------------------------
+    if doc_text is not None:
+        knob_pass(fts, struct_names, doc_text, findings)
+
+    return findings, len(fts)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="simlint3",
+        description="protocol-conformance / observe-only purity lint")
+    ap.add_argument("files", nargs="*", type=Path)
+    ap.add_argument("--compile-commands", type=Path)
+    ap.add_argument("--src-root", type=Path, default=Path("src"))
+    ap.add_argument("--doc", type=Path,
+                    help="knob documentation file (default: EXPERIMENTS.md "
+                         "next to --src-root when using --compile-commands)")
+    ap.add_argument("--knob-structs",
+                    default="ServerConfig,NicKvConfig,RunOptions")
+    ap.add_argument("--frontend", choices=["auto", "clang", "text"],
+                    default="auto")
+    args = ap.parse_args(argv)
+
+    if args.compile_commands:
+        paths = lintcommon.files_from_compile_commands(
+            args.compile_commands, args.src_root, "simlint3")
+    elif args.files:
+        paths = [p.resolve() for p in args.files]
+    else:
+        ap.error("pass source files or --compile-commands")
+
+    doc_text = None
+    if args.doc:
+        try:
+            doc_text = args.doc.read_text()
+        except OSError as e:
+            print(f"simlint3: cannot read --doc {args.doc}: {e}",
+                  file=sys.stderr)
+            return 2
+    elif args.compile_commands:
+        default_doc = args.src_root.resolve().parent / "EXPERIMENTS.md"
+        if default_doc.exists():
+            doc_text = default_doc.read_text()
+
+    structs = [s for s in args.knob_structs.split(",") if s]
+    findings, nfiles = analyze(paths, doc_text, structs, args.frontend)
+    return lintcommon.report(findings, nfiles, "simlint3")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
