@@ -108,7 +108,9 @@ inline void add_run_fields(obs::JsonWriter& w, const workload::RunResult& r) {
     w.kv("kops", r.throughput_kops)
         .kv("mean_us", r.mean_us)
         .kv("p50_us", r.p50_us)
+        .kv("p95_us", r.p95_us)
         .kv("p99_us", r.p99_us)
+        .kv("p999_us", r.p999_us)
         .kv("ops", r.ops)
         .kv("errors", r.errors)
         .kv("cpu_util", r.master_cpu_util);

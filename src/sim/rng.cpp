@@ -100,6 +100,22 @@ double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
     return sum;
 }
 
+void ZipfianGenerator::grow_to(std::uint64_t n) {
+    SKV_CHECK(n >= n_); // the insert frontier only advances
+    if (n == n_) return;
+    for (std::uint64_t i = n_ + 1; i <= n; ++i) {
+        zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    n_ = n;
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng, std::uint64_t n) {
+    grow_to(n);
+    return next(rng);
+}
+
 std::uint64_t ZipfianGenerator::next(Rng& rng) {
     const double u = rng.next_double();
     const double uz = u * zetan_;

@@ -60,11 +60,19 @@ public:
 
     std::uint64_t next(Rng& rng);
 
+    /// Draw over an item count that may have grown since construction (the
+    /// YCSB "latest" chooser draws over a keyspace that inserts keep
+    /// extending). The zeta constant is extended incrementally — only the
+    /// new items' terms are summed — exactly as YCSB's ZipfianGenerator
+    /// handles allowItemCountDecrease=false growth. `n` must never shrink.
+    std::uint64_t next(Rng& rng, std::uint64_t n);
+
     [[nodiscard]] std::uint64_t n() const { return n_; }
     [[nodiscard]] double theta() const { return theta_; }
 
 private:
     static double zeta(std::uint64_t n, double theta);
+    void grow_to(std::uint64_t n);
 
     std::uint64_t n_;
     double theta_;

@@ -33,11 +33,34 @@ void RetryClient::start(std::uint64_t ops) {
     next_op();
 }
 
+void RetryClient::issue(DrivenOp op, DoneFn done) {
+    // Driver-paced mode: one op at a time, never alongside start()'s own
+    // generated stream or another driven op still in flight.
+    SKV_CHECK(!op_active_ && !running_);
+    SKV_CHECK(done != nullptr);
+    ++op_seq_;
+    op_type_ = op.type;
+    op_key_ = std::move(op.key);
+    op_value_ = std::move(op.value);
+    op_scan_keys_ = std::move(op.scan_keys);
+    op_done_ = std::move(done);
+    if (op_type_ == check::OpType::kRead && read_first_ < targets_.size()) {
+        cur_ = read_first_;
+    }
+    op_invoke_ns_ = sim_.now().ns();
+    op_deadline_at_ = sim_.now() + policy_.op_deadline;
+    op_attempts_ = 0;
+    maybe_applied_ = false;
+    op_active_ = true;
+    attempt();
+}
+
 void RetryClient::next_op() {
     if (!running_ || remaining_ == 0) return;
     --remaining_;
     auto argv = gen_.next();
     ++op_seq_;
+    op_scan_keys_.clear();
     op_key_ = argv.at(1);
     if (argv[0] == "SET") {
         op_type_ = check::OpType::kWrite;
@@ -114,11 +137,19 @@ void RetryClient::send_on(std::size_t tidx) {
     if (op_type_ == check::OpType::kWrite) {
         argv = {"WSEQ",  std::to_string(client_id_), std::to_string(op_seq_),
                 "SET",   op_key_,                    op_value_};
+    } else if (!op_scan_keys_.empty()) {
+        // Range scan: one MGET over the precomputed key window.
+        argv.reserve(op_scan_keys_.size() + 1);
+        argv.emplace_back("MGET");
+        for (const auto& k : op_scan_keys_) argv.push_back(k);
     } else {
         argv = {"GET", op_key_};
     }
     node_.core->consume(costs_.jittered(rng_, costs_.reply_build));
     attempt_sent_ = true;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->flow_issue(channels_[tidx]->flow_id(), obs_track_);
+    }
     channels_[tidx]->send(kv::resp::command(argv));
 }
 
@@ -146,6 +177,9 @@ void RetryClient::handle_reply(const kv::resp::Value& v) {
     waiting_ = false;
     ++attempt_epoch_; // cancels the pending attempt timer
     node_.core->consume(costs_.jittered(rng_, costs_.cmd_parse));
+    if (tracer_ != nullptr && tracer_->enabled() && channels_[cur_]) {
+        tracer_->flow_complete(channels_[cur_]->flow_id());
+    }
 
     if (op_type_ == check::OpType::kRead) {
         if (v.is_error()) {
@@ -160,6 +194,10 @@ void RetryClient::handle_reply(const kv::resp::Value& v) {
         }
         if (v.kind == kv::resp::Value::Kind::kBulk) {
             finalize(check::Outcome::kOk, true, v.str);
+        } else if (v.kind == kv::resp::Value::Kind::kArray) {
+            // Scan (MGET) reply: the per-key values are not attributed to
+            // the history (the checker is per-key), just a completed read.
+            finalize(check::Outcome::kOk, true, "");
         } else {
             finalize(check::Outcome::kOk, false, "");
         }
@@ -263,6 +301,14 @@ void RetryClient::finalize(check::Outcome outcome, bool found,
         op.invoke_ns = op_invoke_ns_;
         op.complete_ns = sim_.now().ns();
         history_->record(std::move(op));
+    }
+    if (op_done_) {
+        // Driven mode: hand the connection back to the driver, which owns
+        // pacing (open-loop arrivals, not client turnaround).
+        DoneFn done = std::move(op_done_);
+        op_done_ = nullptr;
+        done(outcome);
+        return;
     }
     auto self = shared_from_this();
     sim_.after(costs_.jittered(rng_, policy_.turnaround),

@@ -10,6 +10,7 @@
 #include "cpu/cost_model.hpp"
 #include "kv/resp.hpp"
 #include "net/channel.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulation.hpp"
 #include "workload/generator.hpp"
 
@@ -70,6 +71,32 @@ public:
     /// Stop issuing new ops; an in-flight op still runs to completion.
     void stop() { running_ = false; }
 
+    /// One externally-supplied operation for the driver-paced (open-loop)
+    /// mode: the client does not draw from its own Generator or pace
+    /// itself — the driver hands it ops one at a time via issue().
+    struct DrivenOp {
+        check::OpType type = check::OpType::kRead;
+        std::string key;
+        std::string value; // writes only
+        /// Non-empty: the op is a range scan, sent as one MGET over these
+        /// keys (the simulator's stand-in for YCSB's SCAN verb).
+        std::vector<std::string> scan_keys;
+    };
+    using DoneFn = std::function<void(check::Outcome)>;
+
+    /// Execute one driven op (with the full retry/timeout machinery) and
+    /// invoke `done` on completion. The connection must be idle() — the
+    /// driver owns pacing, so issue() never queues. Mutually exclusive
+    /// with start() on the same client.
+    void issue(DrivenOp op, DoneFn done);
+
+    /// Wire the cluster tracer so driven ops stamp issue/completion against
+    /// their channel's flow id (same contract as BenchClient::set_tracer).
+    void set_tracer(obs::Tracer* tracer, const std::string& track_name) {
+        tracer_ = tracer;
+        obs_track_ = tracer != nullptr ? tracer->track(track_name) : UINT32_MAX;
+    }
+
     /// True when no op is in flight and no further op will be issued.
     [[nodiscard]] bool idle() const { return !op_active_ && (remaining_ == 0 || !running_); }
 
@@ -125,6 +152,8 @@ private:
     check::OpType op_type_ = check::OpType::kRead;
     std::string op_key_;
     std::string op_value_;
+    std::vector<std::string> op_scan_keys_;
+    DoneFn op_done_; // driven mode: completion callback instead of next_op
     std::uint64_t op_seq_ = 0;
     std::int64_t op_invoke_ns_ = 0;
     sim::SimTime op_deadline_at_ = sim::SimTime::zero();
@@ -146,6 +175,8 @@ private:
     std::uint64_t ops_timed_out_ = 0;
     std::uint64_t retries_ = 0;
     sim::SimTime last_ok_at_ = sim::SimTime::zero();
+    obs::Tracer* tracer_ = nullptr;
+    std::uint32_t obs_track_ = UINT32_MAX;
 };
 
 } // namespace skv::workload

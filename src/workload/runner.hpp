@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -68,7 +69,9 @@ struct RunResult {
     double throughput_kops = 0;
     double mean_us = 0;
     double p50_us = 0;
+    double p95_us = 0;
     double p99_us = 0;
+    double p999_us = 0;
     double max_us = 0;
     std::uint64_t ops = 0;
     std::uint64_t errors = 0;
@@ -79,6 +82,48 @@ struct RunResult {
     StageBreakdown stages;
 
     [[nodiscard]] std::string summary() const;
+};
+
+// --- measurement plumbing shared by the closed- and open-loop drivers ----
+
+/// Populate every node's keyspace identically, bypassing replication (the
+/// read workloads measure the steady state, not the loading phase).
+void preload_keyspace(offload::Cluster& cluster, const WorkloadSpec& spec);
+
+/// Fill the latency/throughput scalars of a RunResult from a merged
+/// histogram and the measurement window length (`r.ops` must be set).
+void finalize_latency(RunResult& r, const sim::LatencyHistogram& merged,
+                      sim::Duration measure);
+
+/// Binned completion counter behind RunResult::timeline_kops. Disabled
+/// (all no-ops) when bin is zero.
+class ThroughputTimeline {
+public:
+    ThroughputTimeline(sim::Duration bin, sim::Duration span);
+    [[nodiscard]] bool enabled() const { return bin_.ns() > 0; }
+    /// Count one completion at `offset` past the measurement-window start.
+    void record(sim::Duration offset);
+    /// Convert counts to kops/s and store into `r.timeline_kops`.
+    void fill(RunResult& r) const;
+
+private:
+    sim::Duration bin_;
+    std::vector<std::uint64_t> bins_;
+};
+
+/// Snapshot-and-diff of the tracer's per-stage accumulators so a stage
+/// breakdown covers exactly one measurement window (matched request
+/// populations), shared by both drivers.
+class StageWindow {
+public:
+    /// Snapshot the accumulators at window start.
+    void begin(const obs::Tracer& tracer);
+    /// Diff against the snapshot and fill `out` (sets out.valid).
+    void finish(const obs::Tracer& tracer, StageBreakdown* out) const;
+
+private:
+    std::array<obs::StageAccum, static_cast<std::size_t>(obs::Stage::kCount)>
+        before_{};
 };
 
 /// Drive `opts.clients` closed-loop clients against the cluster's master

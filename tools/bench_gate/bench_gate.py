@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""bench_gate: perf-trajectory recorder and regression gate.
+
+Consumes the schema-v1 ``JSON: {...}`` line a bench binary prints (see
+EXPERIMENTS.md, "Bench JSON schema") and maintains a trajectory database —
+a checked-in JSON file holding the recorded runs, newest last:
+
+    {"schema_version": 1, "figure": "ycsb",
+     "runs": [{"recorded_at_commit": "<sha>", "profile": "full",
+               "series": [...]}, ...]}
+
+Commands:
+
+  record   Append the bench output as a new run of its profile.
+           The working-tree commit is stamped for provenance.
+  check    Diff the bench output against the *latest recorded run of the
+           same profile*. A regression — a gated metric worse by more than
+           the tolerance on any matched series — prints the offending
+           metric deltas and exits 1.
+
+Gated metrics (per series):
+  achieved_kops     lower is a regression
+  p99_us / p999_us  of the "all" point: higher is a regression
+  failed+timed_out  any increase is a regression (no tolerance)
+
+Series present only on one side are reported but do not fail the gate
+(sweep membership is allowed to evolve); use --require-same-series to make
+that fatal too.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def read_bench_doc(path):
+    """The last `JSON: {...}` line of a bench output file ('-' = stdin)."""
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    doc_line = None
+    for line in text.splitlines():
+        if line.startswith("JSON: "):
+            doc_line = line[len("JSON: "):]
+    if doc_line is None:
+        raise SystemExit("bench_gate: no 'JSON: ' line in %s" % path)
+    doc = json.loads(doc_line)
+    if doc.get("schema_version") != 1:
+        raise SystemExit("bench_gate: unsupported schema_version %r"
+                         % doc.get("schema_version"))
+    return doc
+
+
+def load_db(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+
+def profile_of(doc):
+    """The run's profile, taken from its series scalars (must agree)."""
+    profiles = {s.get("profile", "default") for s in doc.get("series", [])}
+    if len(profiles) != 1:
+        raise SystemExit("bench_gate: bench output mixes profiles %s"
+                         % sorted(profiles))
+    return profiles.pop()
+
+
+def head_commit():
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def cmd_record(args):
+    doc = read_bench_doc(args.bench_output)
+    db = load_db(args.db)
+    if db is None:
+        db = {"schema_version": 1, "figure": doc["figure"], "runs": []}
+    if db.get("figure") != doc["figure"]:
+        raise SystemExit("bench_gate: db is for figure %r, output is %r"
+                         % (db.get("figure"), doc["figure"]))
+    run = {
+        "recorded_at_commit": args.commit or head_commit(),
+        "profile": profile_of(doc),
+        "series": doc["series"],
+    }
+    db["runs"].append(run)
+    with open(args.db, "w") as f:
+        json.dump(db, f, indent=1)
+        f.write("\n")
+    print("bench_gate: recorded run #%d (profile '%s', %d series) into %s"
+          % (len(db["runs"]), run["profile"], len(run["series"]), args.db))
+    return 0
+
+
+def all_point(series):
+    for p in series.get("points", []):
+        if p.get("op", "all") == "all":
+            return p
+    return {}
+
+
+def check_series(base, cur, tol, failures):
+    """Append '(series, metric, base, cur, delta%)' rows for regressions."""
+    name = cur["name"]
+
+    def rel(b, c):
+        return (c - b) / b if b else 0.0
+
+    b_kops, c_kops = base.get("achieved_kops"), cur.get("achieved_kops")
+    if b_kops and c_kops is not None and rel(b_kops, c_kops) < -tol:
+        failures.append((name, "achieved_kops", b_kops, c_kops,
+                         100.0 * rel(b_kops, c_kops)))
+
+    bp, cp = all_point(base), all_point(cur)
+    for metric in ("p99_us", "p999_us"):
+        b, c = bp.get(metric), cp.get(metric)
+        if b and c is not None and rel(b, c) > tol:
+            failures.append((name, metric, b, c, 100.0 * rel(b, c)))
+
+    b_err = base.get("failed", 0) + base.get("timed_out", 0)
+    c_err = cur.get("failed", 0) + cur.get("timed_out", 0)
+    if c_err > b_err:
+        failures.append((name, "errors", b_err, c_err, float("inf")))
+
+
+def cmd_check(args):
+    doc = read_bench_doc(args.bench_output)
+    profile = profile_of(doc)
+    db = load_db(args.db)
+    baseline = None
+    if db is not None and db.get("figure") == doc["figure"]:
+        for run in db.get("runs", []):
+            if run.get("profile") == profile:
+                baseline = run  # newest matching run wins
+    if baseline is None:
+        msg = ("bench_gate: no recorded baseline for figure %r profile %r"
+               % (doc["figure"], profile))
+        if args.require_baseline:
+            raise SystemExit(msg)
+        print(msg + " — nothing to gate against, passing")
+        return 0
+
+    base_by_name = {s["name"]: s for s in baseline["series"]}
+    cur_by_name = {s["name"]: s for s in doc["series"]}
+    failures = []
+    matched = 0
+    for name, cur in cur_by_name.items():
+        base = base_by_name.get(name)
+        if base is None:
+            print("bench_gate: series %r has no baseline (new?)" % name)
+            if args.require_same_series:
+                failures.append((name, "missing-baseline", 0, 0, 0.0))
+            continue
+        matched += 1
+        check_series(base, cur, args.tolerance, failures)
+    for name in base_by_name:
+        if name not in cur_by_name:
+            print("bench_gate: baseline series %r absent from output" % name)
+            if args.require_same_series:
+                failures.append((name, "missing-series", 0, 0, 0.0))
+
+    if failures:
+        print("bench_gate: FAIL — %d regression(s) vs baseline @ %s "
+              "(tolerance %.0f%%):"
+              % (len(failures), baseline.get("recorded_at_commit", "?"),
+                 100.0 * args.tolerance))
+        for name, metric, b, c, pct in failures:
+            print("  %-32s %-14s %10.3f -> %10.3f  (%+.1f%%)"
+                  % (name, metric, float(b), float(c), pct))
+        return 1
+    print("bench_gate: OK — %d series within %.0f%% of baseline @ %s"
+          % (matched, 100.0 * args.tolerance,
+             baseline.get("recorded_at_commit", "?")))
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="bench_gate")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    rec = sub.add_parser("record", help="append a run to the trajectory db")
+    rec.add_argument("--bench-output", required=True,
+                     help="bench stdout capture ('-' = stdin)")
+    rec.add_argument("--db", required=True, help="trajectory JSON file")
+    rec.add_argument("--commit", default=None,
+                     help="override the recorded commit id")
+    rec.set_defaults(func=cmd_record)
+
+    chk = sub.add_parser("check", help="gate a run against the baseline")
+    chk.add_argument("--bench-output", required=True,
+                     help="bench stdout capture ('-' = stdin)")
+    chk.add_argument("--db", required=True, help="trajectory JSON file")
+    chk.add_argument("--tolerance", type=float, default=0.10,
+                     help="allowed relative slack per gated metric "
+                          "(default 0.10 = 10%%)")
+    chk.add_argument("--require-baseline", action="store_true",
+                     help="fail when the db has no run for this profile")
+    chk.add_argument("--require-same-series", action="store_true",
+                     help="fail on series present only on one side")
+    chk.set_defaults(func=cmd_check)
+
+    args = ap.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -898,7 +898,8 @@ def main(argv=None) -> int:
                     help="knob documentation file (default: EXPERIMENTS.md "
                          "next to --src-root when using --compile-commands)")
     ap.add_argument("--knob-structs",
-                    default="ServerConfig,NicKvConfig,RunOptions")
+                    default="ServerConfig,NicKvConfig,RunOptions,"
+                            "YcsbOptions,OpenLoopOptions")
     ap.add_argument("--frontend", choices=["auto", "clang", "text"],
                     default="auto")
     args = ap.parse_args(argv)
